@@ -1,0 +1,29 @@
+#![warn(missing_docs)]
+//! # pipad-autograd
+//!
+//! Tape-based reverse-mode automatic differentiation whose forward **and**
+//! backward passes run as accounted device kernels on the simulated GPU.
+//! Every DGNN model in the reproduction (MPNN-LSTM, EvolveGCN, T-GCN) trains
+//! through this tape, so the profiler sees the full kernel stream of a real
+//! training iteration — forward aggregation/update/RNN work, the loss pair,
+//! and the mirrored backward kernels.
+//!
+//! ## Design
+//!
+//! * A [`Tape`] is an arena of nodes; [`Var`] is an index into it.
+//! * Leaf nodes are [`Tape::input`] (no gradient) or shared parameters
+//!   registered with [`Tape::param`] (gradient accumulated on the tape and
+//!   read back by the optimizer).
+//! * Aggregation ops require **symmetric** adjacency (the generators produce
+//!   undirected graphs), so the backward SpMM reuses the forward operator —
+//!   PiPAD's overlap sharing then works identically in both directions.
+//!   GE-SpMM instead keeps a CSC copy resident (see
+//!   `pipad_kernels::upload_csr_with_csc`), matching the paper's note that
+//!   this costs PyGT-G extra transfer volume.
+//! * [`Tape::finish`] frees every device allocation the tape made; leaked
+//!   simulated memory would corrupt the tuner's peak statistics, so tests
+//!   assert the device returns to its pre-tape footprint.
+
+mod tape;
+
+pub use tape::{AggregationKernel, SharedParam, Tape, Var};

@@ -1,0 +1,1487 @@
+//! The autodiff tape.
+
+use pipad_gpu_sim::{Gpu, KernelCategory, OomError, StreamId};
+use pipad_kernels as k;
+use pipad_kernels::DeviceMatrix;
+use pipad_sparse::{Csr, SlicedCsr};
+use pipad_tensor::Matrix;
+use std::cell::{Ref, RefCell};
+use std::ops::Deref;
+use std::rc::Rc;
+
+/// Which aggregation kernel a [`Tape::spmm`] op uses (forward and backward).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AggregationKernel {
+    /// PyG-style COO gather/scatter (PyGT, PyGT-A, PyGT-R).
+    CooScatter,
+    /// GE-SpMM shared-memory CSR kernel (PyGT-G).
+    GeSpmm,
+}
+
+/// A parameter shared between the model (which owns it across iterations)
+/// and the tapes that use it.
+pub type SharedParam = Rc<RefCell<DeviceMatrix>>;
+
+/// Handle to a tape node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Var(usize);
+
+enum Value {
+    Owned(DeviceMatrix),
+    Shared(SharedParam),
+}
+
+/// Borrow guard over a node's device value.
+enum DevRef<'a> {
+    Owned(&'a DeviceMatrix),
+    Shared(Ref<'a, DeviceMatrix>),
+}
+
+impl Deref for DevRef<'_> {
+    type Target = DeviceMatrix;
+    fn deref(&self) -> &DeviceMatrix {
+        match self {
+            DevRef::Owned(m) => m,
+            DevRef::Shared(r) => r,
+        }
+    }
+}
+
+enum Op {
+    Input,
+    Param,
+    MatMul(Var, Var),
+    Spmm {
+        adj: Rc<Csr>,
+        x: Var,
+        kernel: AggregationKernel,
+    },
+    SpmmSliced {
+        adj: Rc<SlicedCsr>,
+        x: Var,
+        s_per: usize,
+    },
+    /// Fused partition aggregation (PiPAD §4.2): one parallel pass over the
+    /// overlap topology serving all members, per-member exclusive passes
+    /// accumulated via atomic epilogues, and one normalization pass.
+    /// Output is the coalescent normalized matrix `n × (s·d)`.
+    SpmmPartition {
+        overlap: Option<Rc<SlicedCsr>>,
+        exclusives: Vec<Rc<SlicedCsr>>,
+        xs: Vec<Var>,
+        inv_degs: Vec<Rc<Vec<f32>>>,
+    },
+    RowScale {
+        x: Var,
+        factors: Rc<Vec<f32>>,
+    },
+    /// GAT-style attention aggregation: `out[u] = Σ_v α_uv · x[v]` with
+    /// `α = row_softmax(leaky_relu(l[u] + r[v]))`. Fully differentiable
+    /// w.r.t. `x`, `l` and `r`.
+    GatAggregate {
+        adj: Rc<Csr>,
+        x: Var,
+        l: Var,
+        r: Var,
+        /// Softmax-normalized coefficients per nonzero (forward cache).
+        alpha: Rc<Vec<f32>>,
+        /// Raw pre-activation logits per nonzero (for the leaky-relu mask).
+        raw: Rc<Vec<f32>>,
+        negative_slope: f32,
+    },
+    Add(Var, Var),
+    Sub(Var, Var),
+    Hadamard(Var, Var),
+    AffineConst {
+        x: Var,
+        mul: f32,
+    },
+    AddBias {
+        x: Var,
+        b: Var,
+    },
+    Sigmoid(Var),
+    Tanh(Var),
+    Relu(Var),
+    ConcatCols(Vec<Var>),
+    SliceCols {
+        x: Var,
+        from: usize,
+    },
+    ConcatRows(Vec<Var>),
+    SliceRows {
+        x: Var,
+        from: usize,
+    },
+}
+
+struct Node {
+    value: Value,
+    grad: Option<DeviceMatrix>,
+    op: Op,
+    requires_grad: bool,
+    category: KernelCategory,
+}
+
+/// Reverse-mode tape over device kernels. See the crate docs for design.
+pub struct Tape {
+    nodes: Vec<Node>,
+    stream: StreamId,
+}
+
+impl Tape {
+    /// Create a new instance.
+    pub fn new(stream: StreamId) -> Self {
+        Tape {
+            nodes: Vec::new(),
+            stream,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether there are no elements.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The stream this tape launches kernels on.
+    pub fn stream(&self) -> StreamId {
+        self.stream
+    }
+
+    fn dev(&self, v: Var) -> DevRef<'_> {
+        match &self.nodes[v.0].value {
+            Value::Owned(m) => DevRef::Owned(m),
+            Value::Shared(p) => DevRef::Shared(p.borrow()),
+        }
+    }
+
+    fn requires(&self, v: Var) -> bool {
+        self.nodes[v.0].requires_grad
+    }
+
+    fn shape(&self, v: Var) -> (usize, usize) {
+        self.dev(v).host().shape()
+    }
+
+    /// Read a node's value (clones the host matrix).
+    pub fn host(&self, v: Var) -> Matrix {
+        self.dev(v).host().clone()
+    }
+
+    /// Apply `f` to a node's value without cloning.
+    pub fn with_value<R>(&self, v: Var, f: impl FnOnce(&Matrix) -> R) -> R {
+        f(self.dev(v).host())
+    }
+
+    /// Accumulated gradient of a node, if backward reached it.
+    pub fn grad(&self, v: Var) -> Option<Matrix> {
+        self.nodes[v.0].grad.as_ref().map(|g| g.host().clone())
+    }
+
+    fn push_owned(
+        &mut self,
+        value: DeviceMatrix,
+        op: Op,
+        requires_grad: bool,
+        category: KernelCategory,
+    ) -> Var {
+        self.nodes.push(Node {
+            value: Value::Owned(value),
+            grad: None,
+            op,
+            requires_grad,
+            category,
+        });
+        Var(self.nodes.len() - 1)
+    }
+
+    // ---- leaves ----------------------------------------------------------
+
+    /// Register a device-resident value with no gradient (data).
+    pub fn input(&mut self, value: DeviceMatrix) -> Var {
+        self.push_owned(value, Op::Input, false, KernelCategory::Other)
+    }
+
+    /// Register a shared device-resident value **without** gradient — used
+    /// for cached intermediates (e.g. PiPAD's GPU-side reuse buffer) that
+    /// several tapes read in place.
+    pub fn input_shared(&mut self, p: &SharedParam) -> Var {
+        self.nodes.push(Node {
+            value: Value::Shared(Rc::clone(p)),
+            grad: None,
+            op: Op::Input,
+            requires_grad: false,
+            category: KernelCategory::Other,
+        });
+        Var(self.nodes.len() - 1)
+    }
+
+    /// Register a shared trainable parameter.
+    pub fn param(&mut self, p: &SharedParam) -> Var {
+        self.nodes.push(Node {
+            value: Value::Shared(Rc::clone(p)),
+            grad: None,
+            op: Op::Param,
+            requires_grad: true,
+            category: KernelCategory::Other,
+        });
+        Var(self.nodes.len() - 1)
+    }
+
+    // ---- forward ops ------------------------------------------------------
+
+    /// `x × w`.
+    pub fn matmul(
+        &mut self,
+        gpu: &mut Gpu,
+        x: Var,
+        w: Var,
+        category: KernelCategory,
+    ) -> Result<Var, OomError> {
+        let out = {
+            let (a, b) = (self.dev(x), self.dev(w));
+            k::gemm_device(gpu, self.stream, &a, &b, category)?
+        };
+        let rg = self.requires(x) || self.requires(w);
+        Ok(self.push_owned(out, Op::MatMul(x, w), rg, category))
+    }
+
+    /// Aggregation over a CSR adjacency. `adj` must be structurally
+    /// symmetric so backward can reuse the forward operator.
+    pub fn spmm(
+        &mut self,
+        gpu: &mut Gpu,
+        adj: Rc<Csr>,
+        x: Var,
+        kernel: AggregationKernel,
+    ) -> Result<Var, OomError> {
+        let out = {
+            let handle = k::DeviceCsr::resident(Rc::clone(&adj));
+            let dx = self.dev(x);
+            match kernel {
+                AggregationKernel::CooScatter => k::spmm_coo_scatter(gpu, self.stream, &handle, &dx)?,
+                AggregationKernel::GeSpmm => k::spmm_gespmm(gpu, self.stream, &handle, &dx)?,
+            }
+        };
+        let rg = self.requires(x);
+        Ok(self.push_owned(out, Op::Spmm { adj, x, kernel }, rg, KernelCategory::Aggregation))
+    }
+
+    /// PiPAD's parallel aggregation over a sliced adjacency and coalescent
+    /// features (`s_per` snapshots wide). Symmetry requirement as [`Tape::spmm`].
+    pub fn spmm_sliced(
+        &mut self,
+        gpu: &mut Gpu,
+        adj: Rc<SlicedCsr>,
+        x: Var,
+        s_per: usize,
+    ) -> Result<Var, OomError> {
+        let out = {
+            let handle = k::DeviceSliced::resident(Rc::clone(&adj));
+            let dx = self.dev(x);
+            k::spmm_sliced_parallel(gpu, self.stream, &handle, &dx, s_per)?
+        };
+        let rg = self.requires(x);
+        Ok(self.push_owned(
+            out,
+            Op::SpmmSliced { adj, x, s_per },
+            rg,
+            KernelCategory::Aggregation,
+        ))
+    }
+
+    /// Fused partition aggregation (PiPAD's Algorithm 1 composed with its
+    /// epilogues): computes the normalized mean aggregation of every member
+    /// of a snapshot partition in one coalescent output.
+    ///
+    /// * `overlap`: sliced adjacency of the topology shared by all members
+    ///   (`None` degenerates to exclusive-only, e.g. a partition of one);
+    /// * `exclusives[k]`: member `k`'s remaining topology (results are
+    ///   accumulated by the kernels' atomic output writes — no separate
+    ///   combine pass);
+    /// * `inv_degs[k]`: member `k`'s `1/(deg+1)` normalization factors.
+    ///
+    /// Adjacency must be symmetric (see [`Tape::spmm`]). Returns the
+    /// coalescent `n × (s·d)` Var; per-member views via [`Tape::slice_cols`].
+    pub fn spmm_partition(
+        &mut self,
+        gpu: &mut Gpu,
+        overlap: Option<Rc<SlicedCsr>>,
+        exclusives: Vec<Rc<SlicedCsr>>,
+        xs: Vec<Var>,
+        inv_degs: Vec<Rc<Vec<f32>>>,
+    ) -> Result<Var, OomError> {
+        let size = xs.len();
+        assert!(size >= 1);
+        assert_eq!(exclusives.len(), size, "one exclusive part per member");
+        assert_eq!(inv_degs.len(), size, "one factor set per member");
+        let cat = KernelCategory::Aggregation;
+        let s = self.stream;
+
+        // Raw (unnormalized) accumulation of overlap + exclusive passes.
+        let raw = {
+            let hosts: Vec<Matrix> = xs.iter().map(|&x| self.host(x)).collect();
+            let refs: Vec<&Matrix> = hosts.iter().collect();
+            let coalesced = Matrix::concat_cols(&refs);
+            let d_co = DeviceMatrix::alloc(gpu, coalesced)?;
+            let mut acc = if let Some(ov) = overlap.as_ref().filter(|_| size > 1) {
+                let handle = k::DeviceSliced::resident(Rc::clone(ov));
+                let out = k::spmm_sliced_parallel(gpu, s, &handle, &d_co, size)?;
+                d_co.free(gpu);
+                out
+            } else {
+                let rows = hosts[0].rows();
+                let cols: usize = hosts.iter().map(|h| h.cols()).sum();
+                d_co.free(gpu);
+                DeviceMatrix::alloc(gpu, Matrix::zeros(rows, cols))?
+            };
+            // Exclusive passes: their output writes are the atomic adds into
+            // `acc` — the kernel cost already covers them, so the host-side
+            // accumulation below adds no extra launch.
+            let mut col = 0;
+            for (kx, (excl, h)) in exclusives.iter().zip(&hosts).enumerate() {
+                let width = h.cols();
+                if excl.nnz() > 0 || (overlap.is_none() || size == 1) {
+                    let handle = k::DeviceSliced::resident(Rc::clone(excl));
+                    let dx = self.dev(xs[kx]);
+                    let part = k::spmm_sliced_parallel(gpu, s, &handle, &dx, 1)?;
+                    drop(dx);
+                    let mut merged = acc.host().clone();
+                    for r in 0..merged.rows() {
+                        let dst = &mut merged.row_mut(r)[col..col + width];
+                        for (d, &v) in dst.iter_mut().zip(part.host().row(r)) {
+                            *d += v;
+                        }
+                    }
+                    part.free(gpu);
+                    acc.store(merged);
+                }
+                col += width;
+            }
+            acc
+        };
+        // Normalization epilogue.
+        let out = k::row_scale_multi(gpu, s, &raw, &inv_degs, cat)?;
+        raw.free(gpu);
+        let rg = xs.iter().any(|&x| self.requires(x));
+        Ok(self.push_owned(
+            out,
+            Op::SpmmPartition {
+                overlap,
+                exclusives,
+                xs,
+                inv_degs,
+            },
+            rg,
+            cat,
+        ))
+    }
+
+    /// GAT attention aggregation (the paper's §1 generalization target):
+    /// computes per-edge attention from the `l`/`r` projections (n×1 each),
+    /// row-softmaxes them, and aggregates `x` with the resulting weights.
+    /// Gradients flow into `x`, `l` and `r` (through the softmax and the
+    /// leaky-relu). `adj` must be structurally symmetric, as for
+    /// [`Tape::spmm`].
+    pub fn gat_aggregate(
+        &mut self,
+        gpu: &mut Gpu,
+        adj: Rc<Csr>,
+        x: Var,
+        l: Var,
+        r: Var,
+        negative_slope: f32,
+    ) -> Result<Var, OomError> {
+        let cat = KernelCategory::Aggregation;
+        let s = self.stream;
+        let (scores, alpha, out) = {
+            let handle = k::DeviceCsr::resident(Rc::clone(&adj));
+            let (dl, dr) = (self.dev(l), self.dev(r));
+            let scores = k::edge_scores(gpu, s, &handle, &dl, &dr, negative_slope);
+            drop(dl);
+            drop(dr);
+            let alpha = k::edge_softmax(gpu, s, &handle, &scores);
+            let dx = self.dev(x);
+            let out = k::spmm_weighted(gpu, s, &handle, &alpha, &dx)?;
+            (scores, alpha, out)
+        };
+        // cache the *raw* (pre-softmax, post-leaky) logits to recover the
+        // leaky-relu mask in backward: raw > 0 ⇔ pre-activation > 0 when
+        // negative_slope > 0.
+        let rg = self.requires(x) || self.requires(l) || self.requires(r);
+        Ok(self.push_owned(
+            out,
+            Op::GatAggregate {
+                adj,
+                x,
+                l,
+                r,
+                alpha: Rc::new(alpha),
+                raw: Rc::new(scores),
+                negative_slope,
+            },
+            rg,
+            cat,
+        ))
+    }
+
+    /// Row-wise scaling by per-vertex factors (degree normalization).
+    pub fn row_scale(
+        &mut self,
+        gpu: &mut Gpu,
+        x: Var,
+        factors: Rc<Vec<f32>>,
+    ) -> Result<Var, OomError> {
+        let out = {
+            let dx = self.dev(x);
+            k::row_scale(gpu, self.stream, &dx, &factors, KernelCategory::Aggregation)?
+        };
+        let rg = self.requires(x);
+        Ok(self.push_owned(out, Op::RowScale { x, factors }, rg, KernelCategory::Aggregation))
+    }
+
+    fn binary(
+        &mut self,
+        gpu: &mut Gpu,
+        a: Var,
+        b: Var,
+        category: KernelCategory,
+        f: fn(&mut Gpu, StreamId, &DeviceMatrix, &DeviceMatrix, KernelCategory) -> Result<DeviceMatrix, OomError>,
+        op: Op,
+    ) -> Result<Var, OomError> {
+        let out = {
+            let (da, db) = (self.dev(a), self.dev(b));
+            f(gpu, self.stream, &da, &db, category)?
+        };
+        let rg = self.requires(a) || self.requires(b);
+        Ok(self.push_owned(out, op, rg, category))
+    }
+
+    /// Add.
+    pub fn add(&mut self, gpu: &mut Gpu, a: Var, b: Var, category: KernelCategory) -> Result<Var, OomError> {
+        self.binary(gpu, a, b, category, k::add, Op::Add(a, b))
+    }
+
+    /// Sub.
+    pub fn sub(&mut self, gpu: &mut Gpu, a: Var, b: Var, category: KernelCategory) -> Result<Var, OomError> {
+        self.binary(gpu, a, b, category, k::sub, Op::Sub(a, b))
+    }
+
+    /// Elementwise product.
+    pub fn hadamard(&mut self, gpu: &mut Gpu, a: Var, b: Var, category: KernelCategory) -> Result<Var, OomError> {
+        self.binary(gpu, a, b, category, k::hadamard, Op::Hadamard(a, b))
+    }
+
+    /// `mul · x + add` with scalar constants (e.g. `1 − z` in GRU gates).
+    pub fn affine_const(
+        &mut self,
+        gpu: &mut Gpu,
+        x: Var,
+        mul: f32,
+        add: f32,
+        category: KernelCategory,
+    ) -> Result<Var, OomError> {
+        let mut out = {
+            let dx = self.dev(x);
+            // One streaming kernel; the fused `·mul + add` has the same cost
+            // shape as a scalar scale.
+            k::scale(gpu, self.stream, &dx, mul, category)?
+        };
+        if add != 0.0 {
+            let fixed = out.host().map(|v| v + add);
+            out.store(fixed);
+        }
+        let rg = self.requires(x);
+        Ok(self.push_owned(out, Op::AffineConst { x, mul }, rg, category))
+    }
+
+    /// Broadcast bias add (`b` is `1 × n`).
+    pub fn add_bias(&mut self, gpu: &mut Gpu, x: Var, b: Var, category: KernelCategory) -> Result<Var, OomError> {
+        let out = {
+            let (dx, db) = (self.dev(x), self.dev(b));
+            k::add_bias(gpu, self.stream, &dx, &db, category)?
+        };
+        let rg = self.requires(x) || self.requires(b);
+        Ok(self.push_owned(out, Op::AddBias { x, b }, rg, category))
+    }
+
+    fn unary(
+        &mut self,
+        gpu: &mut Gpu,
+        x: Var,
+        category: KernelCategory,
+        f: fn(&mut Gpu, StreamId, &DeviceMatrix, KernelCategory) -> Result<DeviceMatrix, OomError>,
+        op: Op,
+    ) -> Result<Var, OomError> {
+        let out = {
+            let dx = self.dev(x);
+            f(gpu, self.stream, &dx, category)?
+        };
+        let rg = self.requires(x);
+        Ok(self.push_owned(out, op, rg, category))
+    }
+
+    /// Sigmoid.
+    pub fn sigmoid(&mut self, gpu: &mut Gpu, x: Var, category: KernelCategory) -> Result<Var, OomError> {
+        self.unary(gpu, x, category, k::sigmoid, Op::Sigmoid(x))
+    }
+
+    /// Tanh.
+    pub fn tanh(&mut self, gpu: &mut Gpu, x: Var, category: KernelCategory) -> Result<Var, OomError> {
+        self.unary(gpu, x, category, k::tanh_act, Op::Tanh(x))
+    }
+
+    /// Relu.
+    pub fn relu(&mut self, gpu: &mut Gpu, x: Var, category: KernelCategory) -> Result<Var, OomError> {
+        self.unary(gpu, x, category, k::relu, Op::Relu(x))
+    }
+
+    /// Column-wise concatenation (coalescent feature construction).
+    pub fn concat_cols(
+        &mut self,
+        gpu: &mut Gpu,
+        parts: &[Var],
+        category: KernelCategory,
+    ) -> Result<Var, OomError> {
+        assert!(!parts.is_empty());
+        let out = {
+            let guards: Vec<DevRef<'_>> = parts.iter().map(|&p| self.dev(p)).collect();
+            let refs: Vec<&DeviceMatrix> = guards.iter().map(|g| &**g).collect();
+            k::concat_cols(gpu, self.stream, &refs, category)?
+        };
+        let rg = parts.iter().any(|&p| self.requires(p));
+        Ok(self.push_owned(out, Op::ConcatCols(parts.to_vec()), rg, category))
+    }
+
+    /// `x × w` with the weight tile kept resident across row tiles — the
+    /// stacked form of PiPAD's locality-optimized weight reuse: callers
+    /// stack a partition's features with [`Tape::concat_rows`], multiply
+    /// once, then [`Tape::slice_rows`] the results apart.
+    pub fn matmul_weight_resident(
+        &mut self,
+        gpu: &mut Gpu,
+        x: Var,
+        w: Var,
+        category: KernelCategory,
+    ) -> Result<Var, OomError> {
+        let out = {
+            let (a, b) = (self.dev(x), self.dev(w));
+            k::gemm_device_weight_resident(gpu, self.stream, &a, &b, category)?
+        };
+        let rg = self.requires(x) || self.requires(w);
+        Ok(self.push_owned(out, Op::MatMul(x, w), rg, category))
+    }
+
+    /// Row-wise concatenation (stacks a partition's per-snapshot features).
+    pub fn concat_rows(
+        &mut self,
+        gpu: &mut Gpu,
+        parts: &[Var],
+        category: KernelCategory,
+    ) -> Result<Var, OomError> {
+        assert!(!parts.is_empty());
+        let out = {
+            let guards: Vec<DevRef<'_>> = parts.iter().map(|&p| self.dev(p)).collect();
+            let refs: Vec<&DeviceMatrix> = guards.iter().map(|g| &**g).collect();
+            k::concat_rows(gpu, self.stream, &refs, category)?
+        };
+        let rg = parts.iter().any(|&p| self.requires(p));
+        Ok(self.push_owned(out, Op::ConcatRows(parts.to_vec()), rg, category))
+    }
+
+    /// Row range `[from, to)` extraction.
+    pub fn slice_rows(
+        &mut self,
+        gpu: &mut Gpu,
+        x: Var,
+        from: usize,
+        to: usize,
+        category: KernelCategory,
+    ) -> Result<Var, OomError> {
+        let out = {
+            let dx = self.dev(x);
+            k::slice_rows(gpu, self.stream, &dx, from, to, category)?
+        };
+        let rg = self.requires(x);
+        Ok(self.push_owned(out, Op::SliceRows { x, from }, rg, category))
+    }
+
+    /// Column range `[from, to)` extraction.
+    pub fn slice_cols(
+        &mut self,
+        gpu: &mut Gpu,
+        x: Var,
+        from: usize,
+        to: usize,
+        category: KernelCategory,
+    ) -> Result<Var, OomError> {
+        let out = {
+            let dx = self.dev(x);
+            k::slice_cols(gpu, self.stream, &dx, from, to, category)?
+        };
+        let rg = self.requires(x);
+        Ok(self.push_owned(out, Op::SliceCols { x, from }, rg, category))
+    }
+
+    // ---- loss & backward --------------------------------------------------
+
+    /// MSE loss value of `pred` against `target`.
+    pub fn mse_loss(&mut self, gpu: &mut Gpu, pred: Var, target: &Matrix) -> f32 {
+        let dm = self.dev(pred);
+        k::mse_loss(gpu, self.stream, &dm, target)
+    }
+
+    /// Seed `d(loss)/d(pred)` for MSE and run the reverse sweep.
+    pub fn backward_mse(&mut self, gpu: &mut Gpu, pred: Var, target: &Matrix) -> Result<(), OomError> {
+        let seed = {
+            let dm = self.dev(pred);
+            k::mse_grad(gpu, self.stream, &dm, target)?
+        };
+        self.backward_from(gpu, pred, seed)
+    }
+
+    /// Run the reverse sweep from `root` with an explicit seed gradient.
+    pub fn backward_from(&mut self, gpu: &mut Gpu, root: Var, seed: DeviceMatrix) -> Result<(), OomError> {
+        self.accumulate(gpu, root, seed)?;
+        for i in (0..=root.0).rev() {
+            if self.nodes[i].grad.is_none() || !self.nodes[i].requires_grad {
+                continue;
+            }
+            self.step_backward(gpu, Var(i))?;
+        }
+        Ok(())
+    }
+
+    fn accumulate(&mut self, gpu: &mut Gpu, v: Var, g: DeviceMatrix) -> Result<(), OomError> {
+        debug_assert_eq!(self.shape(v), (g.rows(), g.cols()), "gradient shape mismatch");
+        match self.nodes[v.0].grad.take() {
+            None => self.nodes[v.0].grad = Some(g),
+            Some(prev) => {
+                let cat = self.nodes[v.0].category;
+                let sum = k::add(gpu, self.stream, &prev, &g, cat)?;
+                prev.free(gpu);
+                g.free(gpu);
+                self.nodes[v.0].grad = Some(sum);
+            }
+        }
+        Ok(())
+    }
+
+    fn step_backward(&mut self, gpu: &mut Gpu, v: Var) -> Result<(), OomError> {
+        let cat = self.nodes[v.0].category;
+        let s = self.stream;
+        // Detach this node's gradient for the duration of the step (children
+        // never alias their own parents in a DAG built forward-only).
+        let g = self.nodes[v.0].grad.take().expect("grad present");
+
+        enum Plan {
+            None,
+            MatMul(Var, Var),
+            Spmm(Rc<Csr>, Var, AggregationKernel),
+            SpmmSliced(Rc<SlicedCsr>, Var, usize),
+            SpmmPartition(
+                Option<Rc<SlicedCsr>>,
+                Vec<Rc<SlicedCsr>>,
+                Vec<Var>,
+                Vec<Rc<Vec<f32>>>,
+            ),
+            RowScale(Var, Rc<Vec<f32>>),
+            Gat(Rc<Csr>, Var, Var, Var, Rc<Vec<f32>>, Rc<Vec<f32>>, f32),
+            Add(Var, Var),
+            Sub(Var, Var),
+            Hadamard(Var, Var),
+            AffineConst(Var, f32),
+            AddBias(Var, Var),
+            Sigmoid(Var),
+            Tanh(Var),
+            Relu(Var),
+            Concat(Vec<Var>),
+            Slice(Var, usize),
+            ConcatR(Vec<Var>),
+            SliceR(Var, usize),
+        }
+        let plan = match &self.nodes[v.0].op {
+            Op::Input | Op::Param => Plan::None,
+            Op::MatMul(a, b) => Plan::MatMul(*a, *b),
+            Op::Spmm { adj, x, kernel } => Plan::Spmm(Rc::clone(adj), *x, *kernel),
+            Op::SpmmSliced { adj, x, s_per } => Plan::SpmmSliced(Rc::clone(adj), *x, *s_per),
+            Op::SpmmPartition {
+                overlap,
+                exclusives,
+                xs,
+                inv_degs,
+            } => Plan::SpmmPartition(
+                overlap.clone(),
+                exclusives.clone(),
+                xs.clone(),
+                inv_degs.clone(),
+            ),
+            Op::RowScale { x, factors } => Plan::RowScale(*x, Rc::clone(factors)),
+            Op::GatAggregate {
+                adj,
+                x,
+                l,
+                r,
+                alpha,
+                raw,
+                negative_slope,
+            } => Plan::Gat(
+                Rc::clone(adj),
+                *x,
+                *l,
+                *r,
+                Rc::clone(alpha),
+                Rc::clone(raw),
+                *negative_slope,
+            ),
+            Op::Add(a, b) => Plan::Add(*a, *b),
+            Op::Sub(a, b) => Plan::Sub(*a, *b),
+            Op::Hadamard(a, b) => Plan::Hadamard(*a, *b),
+            Op::AffineConst { x, mul } => Plan::AffineConst(*x, *mul),
+            Op::AddBias { x, b } => Plan::AddBias(*x, *b),
+            Op::Sigmoid(x) => Plan::Sigmoid(*x),
+            Op::Tanh(x) => Plan::Tanh(*x),
+            Op::Relu(x) => Plan::Relu(*x),
+            Op::ConcatCols(parts) => Plan::Concat(parts.clone()),
+            Op::SliceCols { x, from } => Plan::Slice(*x, *from),
+            Op::ConcatRows(parts) => Plan::ConcatR(parts.clone()),
+            Op::SliceRows { x, from } => Plan::SliceR(*x, *from),
+        };
+
+        match plan {
+            Plan::None => {}
+            Plan::MatMul(a, b) => {
+                if self.requires(a) {
+                    let da = {
+                        let bm = self.dev(b);
+                        k::gemm_nt_device(gpu, s, &g, &bm, cat)?
+                    };
+                    self.accumulate(gpu, a, da)?;
+                }
+                if self.requires(b) {
+                    let db = {
+                        let am = self.dev(a);
+                        k::gemm_tn_device(gpu, s, &am, &g, cat)?
+                    };
+                    self.accumulate(gpu, b, db)?;
+                }
+            }
+            Plan::Spmm(adj, x, kernel) => {
+                if self.requires(x) {
+                    // Symmetric adjacency: dX = Aᵀ g = A g.
+                    let handle = k::DeviceCsr::resident(adj);
+                    let dx = match kernel {
+                        AggregationKernel::CooScatter => k::spmm_coo_scatter(gpu, s, &handle, &g)?,
+                        AggregationKernel::GeSpmm => k::spmm_gespmm(gpu, s, &handle, &g)?,
+                    };
+                    self.accumulate(gpu, x, dx)?;
+                }
+            }
+            Plan::SpmmSliced(adj, x, s_per) => {
+                if self.requires(x) {
+                    let handle = k::DeviceSliced::resident(adj);
+                    let dx = k::spmm_sliced_parallel(gpu, s, &handle, &g, s_per)?;
+                    self.accumulate(gpu, x, dx)?;
+                }
+            }
+            Plan::SpmmPartition(overlap, exclusives, xs, inv_degs) => {
+                // d/d(raw) = per-member scaled upstream; then the symmetric
+                // adjacency maps it back: one parallel pass over the overlap
+                // plus per-member exclusive passes.
+                let size = xs.len();
+                let g_scaled = k::row_scale_multi(gpu, s, &g, &inv_degs, cat)?;
+                let over_grad = if let Some(ov) = overlap.as_ref().filter(|_| size > 1) {
+                    let handle = k::DeviceSliced::resident(Rc::clone(ov));
+                    Some(k::spmm_sliced_parallel(gpu, s, &handle, &g_scaled, size)?)
+                } else {
+                    None
+                };
+                let mut col = 0;
+                for (kx, &x) in xs.iter().enumerate() {
+                    let width = self.shape(x).1;
+                    if !self.requires(x) {
+                        col += width;
+                        continue;
+                    }
+                    // Dead-member pruning: a member whose output never fed
+                    // the loss has an all-zero upstream slice; launching its
+                    // backward kernels would be pure waste (the unfused
+                    // one-snapshot path skips them by graph reachability).
+                    let member_is_zero = {
+                        let gh = g_scaled.host();
+                        (0..gh.rows()).all(|r| gh.row(r)[col..col + width].iter().all(|&v| v == 0.0))
+                    };
+                    if member_is_zero {
+                        col += width;
+                        continue;
+                    }
+                    // member slice of the upstream (view)
+                    let g_k = k::slice_cols(gpu, s, &g_scaled, col, col + width, cat)?;
+                    let excl = &exclusives[kx];
+                    let mut dx = if excl.nnz() > 0 || over_grad.is_none() {
+                        let handle = k::DeviceSliced::resident(Rc::clone(excl));
+                        k::spmm_sliced_parallel(gpu, s, &handle, &g_k, 1)?
+                    } else {
+                        DeviceMatrix::alloc(gpu, Matrix::zeros(self.shape(x).0, width))?
+                    };
+                    g_k.free(gpu);
+                    if let Some(og) = &over_grad {
+                        // accumulate the overlap contribution (atomic adds —
+                        // already charged by the parallel kernel's outputs)
+                        let slice = og.host().slice_cols(col, col + width);
+                        let mut merged = dx.host().clone();
+                        merged.add_assign(&slice);
+                        dx.store(merged);
+                    }
+                    self.accumulate(gpu, x, dx)?;
+                    col += width;
+                }
+                if let Some(og) = over_grad {
+                    og.free(gpu);
+                }
+                g_scaled.free(gpu);
+            }
+            Plan::RowScale(x, factors) => {
+                if self.requires(x) {
+                    let dx = k::row_scale(gpu, s, &g, &factors, cat)?;
+                    self.accumulate(gpu, x, dx)?;
+                }
+            }
+            Plan::Gat(adj, x, l, r, alpha, raw, slope) => {
+                // dX: transposed weighted aggregation. The adjacency is
+                // structurally symmetric but the attention values are not —
+                // transpose the weighted matrix.
+                let weighted = Csr::from_parts(
+                    adj.n_rows(),
+                    adj.n_cols(),
+                    adj.row_offsets().to_vec(),
+                    adj.col_indices().to_vec(),
+                    alpha.as_ref().clone(),
+                );
+                let weighted_t = weighted.transpose();
+                if self.requires(x) {
+                    let handle = k::DeviceCsr::resident(Rc::new(weighted_t.clone()));
+                    let dx = k::spmm_weighted(gpu, s, &handle, weighted_t.values(), &g)?;
+                    self.accumulate(gpu, x, dx)?;
+                }
+                if self.requires(l) || self.requires(r) {
+                    // dα_k = g[u] · x[v] — an SDDMM pass (charge like
+                    // edge_scores with feature-width gathers).
+                    let x_host = self.host(x);
+                    let fdim = x_host.cols() as u64;
+                    let nnz = adj.nnz() as u64;
+                    let cost = pipad_gpu_sim::KernelCost::new("gat_sddmm_grad", cat)
+                        .flops(2 * nnz * fdim)
+                        .gmem(2 * nnz, 2 * nnz * fdim.div_ceil(8).max(1))
+                        .uniform_blocks(nnz.div_ceil(128).max(1) as usize, 128);
+                    gpu.launch(s, cost);
+                    let g_host = g.host();
+                    let mut dalpha = vec![0.0f32; adj.nnz()];
+                    let mut kidx = 0usize;
+                    for u in 0..adj.n_rows() {
+                        for &v in adj.row(u) {
+                            let gu = g_host.row(u);
+                            let xv = x_host.row(v as usize);
+                            dalpha[kidx] = gu.iter().zip(xv).map(|(a, b)| a * b).sum();
+                            kidx += 1;
+                        }
+                    }
+                    // softmax backward per row, then leaky-relu mask; one
+                    // more streaming pass over the edge arrays.
+                    let cost = pipad_gpu_sim::KernelCost::new("gat_softmax_grad", cat)
+                        .flops(4 * nnz)
+                        .gmem((12 * nnz).div_ceil(128), (12 * nnz).div_ceil(32))
+                        .uniform_blocks(nnz.div_ceil(128).max(1) as usize, 128);
+                    gpu.launch(s, cost);
+                    let offsets = adj.row_offsets();
+                    let mut dl_host = Matrix::zeros(adj.n_rows(), 1);
+                    let mut dr_host = Matrix::zeros(adj.n_cols(), 1);
+                    for u in 0..adj.n_rows() {
+                        let (a, b) = (offsets[u] as usize, offsets[u + 1] as usize);
+                        if a == b {
+                            continue;
+                        }
+                        let dot: f32 = (a..b).map(|kk| alpha[kk] * dalpha[kk]).sum();
+                        for kk in a..b {
+                            let dsoft = alpha[kk] * (dalpha[kk] - dot);
+                            let de = if raw[kk] > 0.0 { dsoft } else { slope * dsoft };
+                            dl_host[(u, 0)] += de;
+                            let v = adj.row(u)[kk - a] as usize;
+                            dr_host[(v, 0)] += de;
+                        }
+                    }
+                    if self.requires(l) {
+                        let dl = DeviceMatrix::alloc(gpu, dl_host)?;
+                        self.accumulate(gpu, l, dl)?;
+                    }
+                    if self.requires(r) {
+                        let dr = DeviceMatrix::alloc(gpu, dr_host)?;
+                        self.accumulate(gpu, r, dr)?;
+                    }
+                }
+            }
+            Plan::Add(a, b) => {
+                for p in [a, b] {
+                    if self.requires(p) {
+                        let dp = k::scale(gpu, s, &g, 1.0, cat)?;
+                        self.accumulate(gpu, p, dp)?;
+                    }
+                }
+            }
+            Plan::Sub(a, b) => {
+                if self.requires(a) {
+                    let da = k::scale(gpu, s, &g, 1.0, cat)?;
+                    self.accumulate(gpu, a, da)?;
+                }
+                if self.requires(b) {
+                    let db = k::scale(gpu, s, &g, -1.0, cat)?;
+                    self.accumulate(gpu, b, db)?;
+                }
+            }
+            Plan::Hadamard(a, b) => {
+                if self.requires(a) {
+                    let da = {
+                        let bm = self.dev(b);
+                        k::hadamard(gpu, s, &g, &bm, cat)?
+                    };
+                    self.accumulate(gpu, a, da)?;
+                }
+                if self.requires(b) {
+                    let db = {
+                        let am = self.dev(a);
+                        k::hadamard(gpu, s, &g, &am, cat)?
+                    };
+                    self.accumulate(gpu, b, db)?;
+                }
+            }
+            Plan::AffineConst(x, mul) => {
+                if self.requires(x) {
+                    let dx = k::scale(gpu, s, &g, mul, cat)?;
+                    self.accumulate(gpu, x, dx)?;
+                }
+            }
+            Plan::AddBias(x, b) => {
+                if self.requires(x) {
+                    let dx = k::scale(gpu, s, &g, 1.0, cat)?;
+                    self.accumulate(gpu, x, dx)?;
+                }
+                if self.requires(b) {
+                    let db = k::col_sums(gpu, s, &g, cat)?;
+                    self.accumulate(gpu, b, db)?;
+                }
+            }
+            Plan::Sigmoid(x) => {
+                if self.requires(x) {
+                    let dx = {
+                        let out = self.dev(v);
+                        k::sigmoid_grad_from_out(gpu, s, &out, &g, cat)?
+                    };
+                    self.accumulate(gpu, x, dx)?;
+                }
+            }
+            Plan::Tanh(x) => {
+                if self.requires(x) {
+                    let dx = {
+                        let out = self.dev(v);
+                        k::tanh_grad_from_out(gpu, s, &out, &g, cat)?
+                    };
+                    self.accumulate(gpu, x, dx)?;
+                }
+            }
+            Plan::Relu(x) => {
+                if self.requires(x) {
+                    let dx = {
+                        let xin = self.dev(x);
+                        k::relu_grad_mask(gpu, s, &xin, &g, cat)?
+                    };
+                    self.accumulate(gpu, x, dx)?;
+                }
+            }
+            Plan::Concat(parts) => {
+                let mut off = 0;
+                for p in parts {
+                    let w = self.shape(p).1;
+                    if self.requires(p) {
+                        let dp = k::slice_cols(gpu, s, &g, off, off + w, cat)?;
+                        self.accumulate(gpu, p, dp)?;
+                    }
+                    off += w;
+                }
+            }
+            Plan::ConcatR(parts) => {
+                let mut off = 0;
+                for p in parts {
+                    let h = self.shape(p).0;
+                    if self.requires(p) {
+                        let dp = k::slice_rows(gpu, s, &g, off, off + h, cat)?;
+                        self.accumulate(gpu, p, dp)?;
+                    }
+                    off += h;
+                }
+            }
+            Plan::SliceR(x, from) => {
+                if self.requires(x) {
+                    // View gradient: scatter into a zero parent (no kernel —
+                    // the forward was a view; see kernels' concat_cols docs).
+                    let (rows, cols) = self.shape(x);
+                    let mut padded = Matrix::zeros(rows, cols);
+                    for r in 0..g.rows() {
+                        padded.row_mut(from + r).copy_from_slice(g.host().row(r));
+                    }
+                    let dx = DeviceMatrix::alloc(gpu, padded)?;
+                    self.accumulate(gpu, x, dx)?;
+                }
+            }
+            Plan::Slice(x, from) => {
+                if self.requires(x) {
+                    // View gradient (no kernel).
+                    let (rows, cols) = self.shape(x);
+                    let mut padded = Matrix::zeros(rows, cols);
+                    for r in 0..rows {
+                        padded.row_mut(r)[from..from + g.cols()].copy_from_slice(g.host().row(r));
+                    }
+                    let dx = DeviceMatrix::alloc(gpu, padded)?;
+                    self.accumulate(gpu, x, dx)?;
+                }
+            }
+        }
+        // Restore the node's gradient (models may read it after backward).
+        self.nodes[v.0].grad = Some(g);
+        Ok(())
+    }
+
+    /// Free every device allocation owned by the tape (values of non-shared
+    /// nodes and all gradients). Shared parameters stay resident.
+    pub fn finish(self, gpu: &mut Gpu) {
+        for node in self.nodes {
+            if let Value::Owned(m) = node.value {
+                m.free(gpu);
+            }
+            if let Some(g) = node.grad {
+                g.free(gpu);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pipad_gpu_sim::DeviceConfig;
+    use pipad_tensor::{seeded_rng, uniform};
+
+    fn setup() -> (Gpu, StreamId) {
+        let g = Gpu::new(DeviceConfig::v100());
+        let s = g.default_stream();
+        (g, s)
+    }
+
+    fn shared(gpu: &mut Gpu, m: Matrix) -> SharedParam {
+        Rc::new(RefCell::new(DeviceMatrix::alloc(gpu, m).unwrap()))
+    }
+
+    /// Numeric gradient of `loss(param)` via central differences.
+    fn numeric_grad(
+        gpu: &mut Gpu,
+        param: &SharedParam,
+        mut f: impl FnMut(&mut Gpu) -> f32,
+    ) -> Matrix {
+        let (rows, cols) = { param.borrow().host().shape() };
+        let mut grad = Matrix::zeros(rows, cols);
+        let eps = 1e-3f32;
+        for r in 0..rows {
+            for c in 0..cols {
+                let orig = param.borrow().host()[(r, c)];
+                let set = |p: &SharedParam, v: f32| {
+                    let mut m = p.borrow().host().clone();
+                    m[(r, c)] = v;
+                    p.borrow_mut().store(m);
+                };
+                set(param, orig + eps);
+                let hi = f(gpu);
+                set(param, orig - eps);
+                let lo = f(gpu);
+                set(param, orig);
+                grad[(r, c)] = (hi - lo) / (2.0 * eps);
+            }
+        }
+        grad
+    }
+
+    #[test]
+    fn linear_layer_gradients_match_numeric() {
+        let (mut gpu, s) = setup();
+        let x_host = uniform(&mut seeded_rng(1), 5, 3, 1.0);
+        let w = shared(&mut gpu, uniform(&mut seeded_rng(2), 3, 2, 1.0));
+        let b = shared(&mut gpu, uniform(&mut seeded_rng(3), 1, 2, 1.0));
+        let target = uniform(&mut seeded_rng(4), 5, 2, 1.0);
+
+        let run = |gpu: &mut Gpu, want_grad: bool, w: &SharedParam, b: &SharedParam| {
+            let mut tape = Tape::new(s);
+            let x = tape.input(DeviceMatrix::alloc(gpu, x_host.clone()).unwrap());
+            let wv = tape.param(w);
+            let bv = tape.param(b);
+            let h = tape.matmul(gpu, x, wv, KernelCategory::Update).unwrap();
+            let h = tape.add_bias(gpu, h, bv, KernelCategory::Update).unwrap();
+            let h = tape.tanh(gpu, h, KernelCategory::Update).unwrap();
+            let loss = tape.mse_loss(gpu, h, &target);
+            let grads = if want_grad {
+                tape.backward_mse(gpu, h, &target).unwrap();
+                Some((tape.grad(wv).unwrap(), tape.grad(bv).unwrap()))
+            } else {
+                None
+            };
+            tape.finish(gpu);
+            (loss, grads)
+        };
+
+        let (_, grads) = run(&mut gpu, true, &w, &b);
+        let (gw, gb) = grads.unwrap();
+        let nw = numeric_grad(&mut gpu, &w, |gpu| run(gpu, false, &w, &b).0);
+        assert!(gw.approx_eq(&nw, 2e-2), "analytic {gw:?} numeric {nw:?}");
+        let nb = numeric_grad(&mut gpu, &b, |gpu| run(gpu, false, &w, &b).0);
+        assert!(gb.approx_eq(&nb, 2e-2), "analytic {gb:?} numeric {nb:?}");
+    }
+
+    #[test]
+    fn gcn_like_chain_gradients_match_numeric() {
+        let (mut gpu, s) = setup();
+        let csr = Rc::new(Csr::from_edges(
+            4,
+            4,
+            &[
+                (0, 1),
+                (1, 0),
+                (1, 2),
+                (2, 1),
+                (2, 3),
+                (3, 2),
+                (0, 0),
+                (1, 1),
+                (2, 2),
+                (3, 3),
+            ],
+        ));
+        let factors = Rc::new(vec![0.5, 0.33, 0.33, 0.5]);
+        let x_host = uniform(&mut seeded_rng(5), 4, 3, 1.0);
+        let w = shared(&mut gpu, uniform(&mut seeded_rng(6), 3, 2, 1.0));
+        let target = uniform(&mut seeded_rng(7), 4, 2, 1.0);
+
+        let run = |gpu: &mut Gpu, w: &SharedParam, want_grad: bool| {
+            let mut tape = Tape::new(s);
+            let x = tape.input(DeviceMatrix::alloc(gpu, x_host.clone()).unwrap());
+            let wv = tape.param(w);
+            let agg = tape
+                .spmm(gpu, Rc::clone(&csr), x, AggregationKernel::CooScatter)
+                .unwrap();
+            let norm = tape.row_scale(gpu, agg, Rc::clone(&factors)).unwrap();
+            let h = tape.matmul(gpu, norm, wv, KernelCategory::Update).unwrap();
+            let h = tape.relu(gpu, h, KernelCategory::Update).unwrap();
+            let loss = tape.mse_loss(gpu, h, &target);
+            let grad = if want_grad {
+                tape.backward_mse(gpu, h, &target).unwrap();
+                Some(tape.grad(wv).unwrap())
+            } else {
+                None
+            };
+            tape.finish(gpu);
+            (loss, grad)
+        };
+
+        let (_, gw) = run(&mut gpu, &w, true);
+        let gw = gw.unwrap();
+        let nw = numeric_grad(&mut gpu, &w, |gpu| run(gpu, &w, false).0);
+        assert!(gw.approx_eq(&nw, 2e-2), "analytic {gw:?} numeric {nw:?}");
+    }
+
+    #[test]
+    fn sliced_spmm_gradients_match_numeric() {
+        let (mut gpu, s) = setup();
+        let csr = Csr::from_edges(
+            4,
+            4,
+            &[(0, 1), (1, 0), (1, 3), (3, 1), (2, 2)],
+        );
+        let sliced = Rc::new(SlicedCsr::from_csr(&csr));
+        let x_host = uniform(&mut seeded_rng(20), 4, 2, 1.0);
+        let w = shared(&mut gpu, uniform(&mut seeded_rng(21), 2, 2, 1.0));
+        let target = uniform(&mut seeded_rng(22), 4, 4, 1.0);
+
+        let run = |gpu: &mut Gpu, w: &SharedParam, want_grad: bool| {
+            let mut tape = Tape::new(s);
+            let x = tape.input(DeviceMatrix::alloc(gpu, x_host.clone()).unwrap());
+            let wv = tape.param(w);
+            let xa = tape.matmul(gpu, x, wv, KernelCategory::Update).unwrap();
+            let xb = tape.tanh(gpu, xa, KernelCategory::Update).unwrap();
+            // coalescent features of a 2-snapshot partition
+            let co = tape.concat_cols(gpu, &[xa, xb], KernelCategory::Other).unwrap();
+            let agg = tape.spmm_sliced(gpu, Rc::clone(&sliced), co, 2).unwrap();
+            let loss = tape.mse_loss(gpu, agg, &target);
+            let grad = if want_grad {
+                tape.backward_mse(gpu, agg, &target).unwrap();
+                Some(tape.grad(wv).unwrap())
+            } else {
+                None
+            };
+            tape.finish(gpu);
+            (loss, grad)
+        };
+        let (_, gw) = run(&mut gpu, &w, true);
+        let gw = gw.unwrap();
+        let nw = numeric_grad(&mut gpu, &w, |gpu| run(gpu, &w, false).0);
+        assert!(gw.approx_eq(&nw, 2e-2), "analytic {gw:?} numeric {nw:?}");
+    }
+
+    #[test]
+    fn spmm_partition_matches_reference_and_numeric_grad() {
+        let (mut gpu, s) = setup();
+        // Two symmetric snapshots sharing an overlap edge set.
+        let shared = [(0u32, 1u32), (1, 0), (2, 3), (3, 2)];
+        let mut ea = shared.to_vec();
+        ea.extend([(1, 2), (2, 1)]);
+        let mut eb = shared.to_vec();
+        eb.extend([(0, 3), (3, 0)]);
+        let a = Csr::from_edges(4, 4, &ea);
+        let b = Csr::from_edges(4, 4, &eb);
+        let split = pipad_sparse::extract_overlap(&[&a, &b]);
+        let overlap = Rc::new(SlicedCsr::from_csr(&split.overlap));
+        let exclusives: Vec<Rc<SlicedCsr>> = split
+            .exclusives
+            .iter()
+            .map(|e| Rc::new(SlicedCsr::from_csr(e)))
+            .collect();
+        let inv: Vec<Rc<Vec<f32>>> = vec![
+            Rc::new(vec![0.5, 0.25, 0.5, 1.0]),
+            Rc::new(vec![1.0, 0.5, 0.25, 0.5]),
+        ];
+        let x_host = uniform(&mut seeded_rng(30), 4, 2, 1.0);
+        let w = shared_param_helper(&mut gpu, uniform(&mut seeded_rng(31), 2, 2, 1.0));
+        let target = uniform(&mut seeded_rng(32), 4, 4, 1.0);
+
+        let run = |gpu: &mut Gpu, w: &SharedParam, want_grad: bool| {
+            let mut tape = Tape::new(s);
+            let x = tape.input(DeviceMatrix::alloc(gpu, x_host.clone()).unwrap());
+            let wv = tape.param(w);
+            let h = tape.matmul(gpu, x, wv, KernelCategory::Update).unwrap();
+            let h2 = tape.tanh(gpu, h, KernelCategory::Update).unwrap();
+            let out = tape
+                .spmm_partition(
+                    gpu,
+                    Some(Rc::clone(&overlap)),
+                    exclusives.clone(),
+                    vec![h, h2],
+                    inv.clone(),
+                )
+                .unwrap();
+            let loss = tape.mse_loss(gpu, out, &target);
+            let value = tape.host(out);
+            let grad = if want_grad {
+                tape.backward_mse(gpu, out, &target).unwrap();
+                Some(tape.grad(wv).unwrap())
+            } else {
+                None
+            };
+            tape.finish(gpu);
+            (loss, value, grad)
+        };
+
+        // Value check against the unfused reference.
+        let (_, value, gw) = run(&mut gpu, &w, true);
+        let h_ref = {
+            let hx = pipad_tensor::gemm(&x_host, &w.borrow().host().clone());
+            let ht = hx.map(f32::tanh);
+            (hx, ht)
+        };
+        for (m, (adj, hin, factors)) in
+            [(0usize, (&a, &h_ref.0, &inv[0])), (1, (&b, &h_ref.1, &inv[1]))]
+        {
+            let mut expect = adj.spmm_dense(hin);
+            for r in 0..expect.rows() {
+                let f = factors[r];
+                for v in expect.row_mut(r) {
+                    *v *= f;
+                }
+            }
+            let got = value.slice_cols(m * 2, (m + 1) * 2);
+            assert!(got.approx_eq(&expect, 1e-4), "member {m}");
+        }
+
+        // Gradient check.
+        let gw = gw.unwrap();
+        let nw = numeric_grad(&mut gpu, &w, |gpu| run(gpu, &w, false).0);
+        assert!(gw.approx_eq(&nw, 2e-2), "analytic {gw:?} numeric {nw:?}");
+    }
+
+    #[test]
+    fn gat_aggregate_gradients_match_numeric() {
+        let (mut gpu, s) = setup();
+        let adj = Rc::new(Csr::from_edges(
+            4,
+            4,
+            &[(0, 1), (1, 0), (1, 2), (2, 1), (2, 3), (3, 2), (0, 0), (1, 1), (2, 2), (3, 3)],
+        ));
+        let x_host = uniform(&mut seeded_rng(40), 4, 3, 1.0);
+        let w = shared_param_helper(&mut gpu, uniform(&mut seeded_rng(41), 3, 3, 1.0));
+        let al = shared_param_helper(&mut gpu, uniform(&mut seeded_rng(42), 3, 1, 1.0));
+        let ar = shared_param_helper(&mut gpu, uniform(&mut seeded_rng(43), 3, 1, 1.0));
+        let target = uniform(&mut seeded_rng(44), 4, 3, 1.0);
+
+        let run = |gpu: &mut Gpu, want: bool| {
+            let mut tape = Tape::new(s);
+            let xv = tape.input(DeviceMatrix::alloc(gpu, x_host.clone()).unwrap());
+            let wv = tape.param(&w);
+            let alv = tape.param(&al);
+            let arv = tape.param(&ar);
+            let h = tape.matmul(gpu, xv, wv, KernelCategory::Update).unwrap();
+            let lproj = tape.matmul(gpu, h, alv, KernelCategory::Aggregation).unwrap();
+            let rproj = tape.matmul(gpu, h, arv, KernelCategory::Aggregation).unwrap();
+            let out = tape
+                .gat_aggregate(gpu, Rc::clone(&adj), h, lproj, rproj, 0.2)
+                .unwrap();
+            let loss = tape.mse_loss(gpu, out, &target);
+            let grads = if want {
+                tape.backward_mse(gpu, out, &target).unwrap();
+                Some((
+                    tape.grad(wv).unwrap(),
+                    tape.grad(alv).unwrap(),
+                    tape.grad(arv).unwrap(),
+                ))
+            } else {
+                None
+            };
+            tape.finish(gpu);
+            (loss, grads)
+        };
+
+        let (_, grads) = run(&mut gpu, true);
+        let (gw, gal, gar) = grads.unwrap();
+        let nw = numeric_grad(&mut gpu, &w, |gpu| run(gpu, false).0);
+        assert!(gw.approx_eq(&nw, 3e-2), "W: analytic {gw:?} numeric {nw:?}");
+        let nal = numeric_grad(&mut gpu, &al, |gpu| run(gpu, false).0);
+        assert!(gal.approx_eq(&nal, 3e-2), "a_l: analytic {gal:?} numeric {nal:?}");
+        let nar = numeric_grad(&mut gpu, &ar, |gpu| run(gpu, false).0);
+        assert!(gar.approx_eq(&nar, 3e-2), "a_r: analytic {gar:?} numeric {nar:?}");
+    }
+
+    fn shared_param_helper(gpu: &mut Gpu, m: Matrix) -> SharedParam {
+        Rc::new(RefCell::new(DeviceMatrix::alloc(gpu, m).unwrap()))
+    }
+
+    #[test]
+    fn gate_composite_gradients_match_numeric() {
+        // z ⊙ tanh(h) + (1−z) ⊙ σ(h): hadamard + affine_const coverage.
+        let (mut gpu, s) = setup();
+        let x_host = uniform(&mut seeded_rng(8), 3, 4, 1.0);
+        let w = shared(&mut gpu, uniform(&mut seeded_rng(9), 4, 2, 1.0));
+        let target = uniform(&mut seeded_rng(10), 3, 2, 1.0);
+
+        let run = |gpu: &mut Gpu, w: &SharedParam, want_grad: bool| {
+            let mut tape = Tape::new(s);
+            let x = tape.input(DeviceMatrix::alloc(gpu, x_host.clone()).unwrap());
+            let wv = tape.param(w);
+            let h = tape.matmul(gpu, x, wv, KernelCategory::Rnn).unwrap();
+            let z = tape.sigmoid(gpu, h, KernelCategory::Rnn).unwrap();
+            let t = tape.tanh(gpu, h, KernelCategory::Rnn).unwrap();
+            let zt = tape.hadamard(gpu, z, t, KernelCategory::Rnn).unwrap();
+            let omz = tape.affine_const(gpu, z, -1.0, 1.0, KernelCategory::Rnn).unwrap();
+            let sg = tape.sigmoid(gpu, h, KernelCategory::Rnn).unwrap();
+            let rest = tape.hadamard(gpu, omz, sg, KernelCategory::Rnn).unwrap();
+            let out = tape.add(gpu, zt, rest, KernelCategory::Rnn).unwrap();
+            let loss = tape.mse_loss(gpu, out, &target);
+            let grad = if want_grad {
+                tape.backward_mse(gpu, out, &target).unwrap();
+                Some(tape.grad(wv).unwrap())
+            } else {
+                None
+            };
+            tape.finish(gpu);
+            (loss, grad)
+        };
+        let (_, gw) = run(&mut gpu, &w, true);
+        let gw = gw.unwrap();
+        let nw = numeric_grad(&mut gpu, &w, |gpu| run(gpu, &w, false).0);
+        assert!(gw.approx_eq(&nw, 2e-2), "analytic {gw:?} numeric {nw:?}");
+    }
+
+    #[test]
+    fn concat_slice_round_trip_gradients() {
+        let (mut gpu, s) = setup();
+        let a_host = uniform(&mut seeded_rng(11), 3, 2, 1.0);
+        let w = shared(&mut gpu, uniform(&mut seeded_rng(12), 3, 2, 1.0));
+        let target = uniform(&mut seeded_rng(13), 3, 2, 1.0);
+        let run = |gpu: &mut Gpu, w: &SharedParam, want: bool| {
+            let mut tape = Tape::new(s);
+            let a = tape.input(DeviceMatrix::alloc(gpu, a_host.clone()).unwrap());
+            let wv = tape.param(w);
+            let cat = tape.concat_cols(gpu, &[a, wv], KernelCategory::Other).unwrap();
+            let right = tape.slice_cols(gpu, cat, 2, 4, KernelCategory::Other).unwrap();
+            let loss = tape.mse_loss(gpu, right, &target);
+            let g = if want {
+                tape.backward_mse(gpu, right, &target).unwrap();
+                Some(tape.grad(wv).unwrap())
+            } else {
+                None
+            };
+            tape.finish(gpu);
+            (loss, g)
+        };
+        let (_, g) = run(&mut gpu, &w, true);
+        let g = g.unwrap();
+        let n = numeric_grad(&mut gpu, &w, |gpu| run(gpu, &w, false).0);
+        assert!(g.approx_eq(&n, 2e-2));
+    }
+
+    #[test]
+    fn finish_releases_all_tape_memory() {
+        let (mut gpu, s) = setup();
+        let w = shared(&mut gpu, uniform(&mut seeded_rng(14), 4, 4, 1.0));
+        let baseline = gpu.mem().in_use();
+        let target = Matrix::zeros(4, 4);
+        let mut tape = Tape::new(s);
+        let x = tape.input(DeviceMatrix::alloc(&mut gpu, Matrix::full(4, 4, 1.0)).unwrap());
+        let wv = tape.param(&w);
+        let h = tape.matmul(&mut gpu, x, wv, KernelCategory::Update).unwrap();
+        let h = tape.relu(&mut gpu, h, KernelCategory::Update).unwrap();
+        tape.backward_mse(&mut gpu, h, &target).unwrap();
+        assert!(gpu.mem().in_use() > baseline);
+        tape.finish(&mut gpu);
+        assert_eq!(gpu.mem().in_use(), baseline, "tape must free everything");
+    }
+
+    #[test]
+    fn backward_launches_are_profiled() {
+        let (mut gpu, s) = setup();
+        let w = shared(&mut gpu, uniform(&mut seeded_rng(15), 3, 3, 1.0));
+        let target = Matrix::zeros(2, 3);
+        let snap = gpu.profiler().snapshot();
+        let mut tape = Tape::new(s);
+        let x = tape.input(DeviceMatrix::alloc(&mut gpu, Matrix::full(2, 3, 1.0)).unwrap());
+        let wv = tape.param(&w);
+        let h = tape.matmul(&mut gpu, x, wv, KernelCategory::Update).unwrap();
+        let forward_launches = gpu.profiler().window(snap).kernel_launches;
+        tape.backward_mse(&mut gpu, h, &target).unwrap();
+        let total = gpu.profiler().window(snap).kernel_launches;
+        assert!(total > forward_launches, "backward must launch kernels");
+        tape.finish(&mut gpu);
+    }
+
+    #[test]
+    fn input_branches_are_skipped_in_backward() {
+        let (mut gpu, s) = setup();
+        let target = Matrix::zeros(2, 2);
+        let mut tape = Tape::new(s);
+        let a = tape.input(DeviceMatrix::alloc(&mut gpu, Matrix::full(2, 2, 1.0)).unwrap());
+        let b = tape.input(DeviceMatrix::alloc(&mut gpu, Matrix::full(2, 2, 2.0)).unwrap());
+        let h = tape.add(&mut gpu, a, b, KernelCategory::Other).unwrap();
+        tape.backward_mse(&mut gpu, h, &target).unwrap();
+        // Gradients never propagate into pure inputs.
+        assert!(tape.grad(a).is_none());
+        assert!(tape.grad(b).is_none());
+        tape.finish(&mut gpu);
+    }
+}

@@ -1,0 +1,26 @@
+#![warn(missing_docs)]
+//! # pipad-baselines
+//!
+//! The four comparison systems of the paper's evaluation (§5.1), re-built
+//! on the same models, autodiff tape and simulated GPU as PiPAD itself:
+//!
+//! | trainer | transfer | aggregation kernel | inter-frame reuse |
+//! |---|---|---|---|
+//! | **PyGT** | synchronous, pageable, COO wire format | PyG scatter | — |
+//! | **PyGT-A** | asynchronous, pinned, COO | PyG scatter | — |
+//! | **PyGT-R** | asynchronous, pinned, COO | PyG scatter | layer-1 aggregation cache |
+//! | **PyGT-G** | asynchronous, pinned, CSR **+ CSC** (GE-SpMM's backward requirement) | GE-SpMM | layer-1 aggregation cache |
+//!
+//! All four follow the canonical **one-snapshot-at-a-time** paradigm: every
+//! snapshot of every frame is shipped and aggregated individually, which is
+//! exactly the redundancy PiPAD removes.
+
+mod esdg;
+mod executor;
+mod reuse;
+mod trainer;
+
+pub use esdg::train_esdg;
+pub use executor::BaselineExecutor;
+pub use reuse::ReuseCache;
+pub use trainer::{train_baseline, BaselineKind};

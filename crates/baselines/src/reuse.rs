@@ -1,0 +1,102 @@
+//! Inter-frame reuse cache (paper §4.4, baseline variant).
+//!
+//! The layer-1 aggregation `D̂⁻¹ Â X_t` depends only on the snapshot itself,
+//! never on model parameters, so it can be computed once (during the
+//! preparing epochs) and reused for every later frame and epoch. The
+//! baseline integration (PyGT-R / PyGT-G) keeps the results in **CPU
+//! memory**: a hit skips the aggregation kernel and — for models with no
+//! hidden-layer aggregation — the adjacency transfer, but the cached matrix
+//! itself still crosses PCIe each time (§4.4 "those aggregation results
+//! still need to be transferred to GPU for the next frame").
+
+use pipad_tensor::Matrix;
+use std::collections::HashMap;
+
+/// CPU-side cache of per-snapshot layer-1 aggregation results, keyed by
+/// global snapshot index.
+#[derive(Debug, Default)]
+pub struct ReuseCache {
+    store: HashMap<usize, Matrix>,
+    hits: u64,
+    misses: u64,
+}
+
+impl ReuseCache {
+    /// Create a new instance.
+    pub fn new() -> Self {
+        ReuseCache::default()
+    }
+
+    /// Look up an entry.
+    pub fn get(&mut self, snapshot: usize) -> Option<&Matrix> {
+        if self.store.contains_key(&snapshot) {
+            self.hits += 1;
+            self.store.get(&snapshot)
+        } else {
+            self.misses += 1;
+            None
+        }
+    }
+
+    /// Whether the entry is present.
+    pub fn contains(&self, snapshot: usize) -> bool {
+        self.store.contains_key(&snapshot)
+    }
+
+    /// Insert an entry.
+    pub fn insert(&mut self, snapshot: usize, agg: Matrix) {
+        self.store.insert(snapshot, agg);
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.store.len()
+    }
+
+    /// Whether there are no elements.
+    pub fn is_empty(&self) -> bool {
+        self.store.is_empty()
+    }
+
+    /// Cache hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Cache misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// CPU memory held by the cache, in bytes.
+    pub fn bytes(&self) -> u64 {
+        self.store.values().map(Matrix::bytes).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_miss_accounting() {
+        let mut c = ReuseCache::new();
+        assert!(c.get(0).is_none());
+        c.insert(0, Matrix::full(2, 2, 1.0));
+        assert!(c.get(0).is_some());
+        assert!(c.get(1).is_none());
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.misses(), 2);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.bytes(), 16);
+    }
+
+    #[test]
+    fn insert_overwrites() {
+        let mut c = ReuseCache::new();
+        c.insert(3, Matrix::full(1, 1, 1.0));
+        c.insert(3, Matrix::full(1, 1, 2.0));
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.get(3).unwrap()[(0, 0)], 2.0);
+    }
+}

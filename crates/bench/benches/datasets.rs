@@ -1,0 +1,29 @@
+//! Criterion benches of the synthetic dataset generators (Table 1's
+//! workload source): generation cost and overlap statistics.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pipad_dyngraph::{DatasetId, Scale, ALL_DATASETS};
+use pipad_sparse::extract_overlap;
+
+fn bench_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dataset_generation");
+    group.sample_size(10);
+    for id in ALL_DATASETS {
+        group.bench_with_input(BenchmarkId::new("tiny", id.name()), &id, |b, &d| {
+            b.iter(|| d.gen_config(Scale::Tiny).generate())
+        });
+    }
+    group.finish();
+}
+
+fn bench_overlap_statistics(c: &mut Criterion) {
+    let g = DatasetId::Epinions.gen_config(Scale::Tiny).generate();
+    c.bench_function("mean_adjacent_overlap", |b| {
+        b.iter(|| g.mean_adjacent_overlap())
+    });
+    let adjs: Vec<&pipad_sparse::Csr> = g.snapshots[..8].iter().map(|s| &s.adj).collect();
+    c.bench_function("extract_overlap_s8", |b| b.iter(|| extract_overlap(&adjs)));
+}
+
+criterion_group!(benches, bench_generation, bench_overlap_statistics);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Criterion benches of full training runs (the Figure 10 / Table 2
+//! measurement path): every method on one small dataset, plus PiPAD on a
+//! denser one. Wall-clock of the whole simulation pipeline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pipad::{train_pipad, PipadConfig};
+use pipad_baselines::{train_baseline, BaselineKind};
+use pipad_bench::util::{dataset, default_training_config};
+use pipad_bench::{Method, RunScale};
+use pipad_dyngraph::DatasetId;
+use pipad_gpu_sim::{DeviceConfig, Gpu};
+use pipad_models::ModelKind;
+
+fn bench_methods(c: &mut Criterion) {
+    let g = dataset(DatasetId::Covid19England, RunScale::Tiny);
+    let mut cfg = default_training_config(RunScale::Tiny);
+    cfg.window = 8;
+    let mut group = c.benchmark_group("end_to_end_tgcn_covid");
+    group.sample_size(10);
+    for method in Method::ALL {
+        group.bench_with_input(
+            BenchmarkId::new("method", method.name()),
+            &method,
+            |b, &m| {
+                b.iter(|| match m {
+                    Method::Pipad => {
+                        let mut gpu = Gpu::new(DeviceConfig::v100());
+                        train_pipad(
+                            &mut gpu,
+                            ModelKind::TGcn,
+                            &g,
+                            16,
+                            &cfg,
+                            &PipadConfig::default(),
+                        )
+                        .unwrap()
+                    }
+                    _ => {
+                        let kind = match m {
+                            Method::Pygt => BaselineKind::Pygt,
+                            Method::PygtA => BaselineKind::PygtA,
+                            Method::PygtR => BaselineKind::PygtR,
+                            Method::PygtG => BaselineKind::PygtG,
+                            Method::Pipad => unreachable!(),
+                        };
+                        let mut gpu = Gpu::new(DeviceConfig::v100());
+                        train_baseline(&mut gpu, kind, ModelKind::TGcn, &g, 16, &cfg).unwrap()
+                    }
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_models_under_pipad(c: &mut Criterion) {
+    let g = dataset(DatasetId::Pems08, RunScale::Tiny);
+    let mut cfg = default_training_config(RunScale::Tiny);
+    cfg.window = 8;
+    let mut group = c.benchmark_group("pipad_by_model");
+    group.sample_size(10);
+    for model in ModelKind::ALL {
+        group.bench_with_input(BenchmarkId::new("model", model.name()), &model, |b, &m| {
+            b.iter(|| {
+                let mut gpu = Gpu::new(DeviceConfig::v100());
+                train_pipad(&mut gpu, m, &g, 16, &cfg, &PipadConfig::default()).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = bench_methods, bench_models_under_pipad
+}
+criterion_main!(benches);

@@ -1,0 +1,97 @@
+//! Criterion benches of PiPAD's intra-frame parallelism building blocks
+//! (the Figure 9 machinery): overlap extraction, graph slicing, parallel
+//! aggregation over a partition, and the weight-reuse update.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pipad_bench::util::dataset;
+use pipad_bench::RunScale;
+use pipad_dyngraph::DatasetId;
+use pipad_gpu_sim::{DeviceConfig, Gpu, KernelCategory};
+use pipad_kernels::{
+    gemm_device, gemm_device_weight_resident, spmm_sliced_parallel, upload_matrix, upload_sliced,
+};
+use pipad_models::normalize_snapshot;
+use pipad_sparse::{extract_overlap, Csr, SlicedCsr};
+use pipad_tensor::{glorot_uniform, seeded_rng, Matrix};
+use std::rc::Rc;
+
+fn bench_preparation(c: &mut Criterion) {
+    let g = dataset(DatasetId::Epinions, RunScale::Tiny);
+    let adjs: Vec<Csr> = g.snapshots[..4]
+        .iter()
+        .map(|s| s.adj.with_self_loops())
+        .collect();
+
+    c.bench_function("graph_slicing", |b| {
+        b.iter(|| SlicedCsr::from_csr(&adjs[0]))
+    });
+    c.bench_function("overlap_extraction_s4", |b| {
+        let refs: Vec<&Csr> = adjs.iter().collect();
+        b.iter(|| extract_overlap(&refs))
+    });
+}
+
+fn bench_parallel_aggregation(c: &mut Criterion) {
+    let g = dataset(DatasetId::HepTh, RunScale::Tiny);
+    let mut group = c.benchmark_group("parallel_aggregation");
+    for s_per in [1usize, 2, 4] {
+        let members: Vec<_> = (0..s_per)
+            .map(|i| normalize_snapshot(&g.snapshots[i].adj))
+            .collect();
+        let refs: Vec<&Csr> = members.iter().map(|m| m.adj_hat.as_ref()).collect();
+        let split = extract_overlap(&refs);
+        let overlap = Rc::new(SlicedCsr::from_csr(&split.overlap));
+        let feats: Vec<&Matrix> = (0..s_per).map(|i| &g.snapshots[i].features).collect();
+        let co = Matrix::concat_cols(&feats);
+        group.bench_with_input(BenchmarkId::new("s_per", s_per), &s_per, |b, &sp| {
+            b.iter(|| {
+                let mut gpu = Gpu::new(DeviceConfig::v100());
+                let s = gpu.default_stream();
+                let adj = upload_sliced(&mut gpu, s, Rc::clone(&overlap), true).unwrap();
+                let dco = upload_matrix(&mut gpu, s, &co, true).unwrap();
+                spmm_sliced_parallel(&mut gpu, s, &adj, &dco, sp).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_weight_reuse_update(c: &mut Criterion) {
+    let mut rng = seeded_rng(3);
+    let w = glorot_uniform(&mut rng, 32, 32);
+    let xs: Vec<Matrix> = (0..8)
+        .map(|_| pipad_tensor::uniform(&mut rng, 512, 32, 1.0))
+        .collect();
+    let refs: Vec<&Matrix> = xs.iter().collect();
+    let stacked = Matrix::concat_rows(&refs);
+
+    let mut group = c.benchmark_group("update_phase");
+    group.bench_function("per_snapshot_gemm", |b| {
+        b.iter(|| {
+            let mut gpu = Gpu::new(DeviceConfig::v100());
+            let s = gpu.default_stream();
+            let dw = upload_matrix(&mut gpu, s, &w, true).unwrap();
+            for x in &xs {
+                let dx = upload_matrix(&mut gpu, s, x, true).unwrap();
+                gemm_device(&mut gpu, s, &dx, &dw, KernelCategory::Update).unwrap();
+            }
+        })
+    });
+    group.bench_function("weight_resident_fused", |b| {
+        b.iter(|| {
+            let mut gpu = Gpu::new(DeviceConfig::v100());
+            let s = gpu.default_stream();
+            let dw = upload_matrix(&mut gpu, s, &w, true).unwrap();
+            let dx = upload_matrix(&mut gpu, s, &stacked, true).unwrap();
+            gemm_device_weight_resident(&mut gpu, s, &dx, &dw, KernelCategory::Update).unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_preparation, bench_parallel_aggregation, bench_weight_reuse_update
+}
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Criterion benches of the sliced-CSR format itself (the Figure 12
+//! machinery): conversion, space accounting and the load-balance effect.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pipad_bench::util::dataset;
+use pipad_bench::RunScale;
+use pipad_dyngraph::DatasetId;
+use pipad_gpu_sim::schedule_blocks;
+use pipad_sparse::balance::{csr_block_work, sliced_block_work};
+use pipad_sparse::{Csr, SlicedCsr};
+
+fn bench_format(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sliced_csr");
+    for id in [DatasetId::Flickr, DatasetId::Youtube, DatasetId::HepTh] {
+        let g = dataset(id, RunScale::Tiny);
+        let adj: Csr = g.snapshots[0].adj.with_self_loops();
+        group.bench_with_input(BenchmarkId::new("from_csr", id.name()), &adj, |b, a| {
+            b.iter(|| SlicedCsr::from_csr(a))
+        });
+        let sliced = SlicedCsr::from_csr(&adj);
+        group.bench_with_input(BenchmarkId::new("to_csr", id.name()), &sliced, |b, s| {
+            b.iter(|| s.to_csr())
+        });
+        group.bench_with_input(
+            BenchmarkId::new("schedule_csr_blocks", id.name()),
+            &adj,
+            |b, a| b.iter(|| schedule_blocks(&csr_block_work(a, 4), 640)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("schedule_sliced_blocks", id.name()),
+            &sliced,
+            |b, s| b.iter(|| schedule_blocks(&sliced_block_work(s, 4), 640)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_format);
+criterion_main!(benches);

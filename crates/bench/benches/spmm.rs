@@ -1,0 +1,77 @@
+//! Wall-clock criterion benches of the three aggregation kernels
+//! (complements `repro fig5` / `repro fig11`, which report the simulated
+//! device metrics — these measure the real Rust compute).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pipad_bench::util::dataset;
+use pipad_bench::RunScale;
+use pipad_dyngraph::DatasetId;
+use pipad_gpu_sim::{DeviceConfig, Gpu};
+use pipad_kernels::{
+    spmm_coo_scatter, spmm_gespmm, spmm_sliced_parallel, upload_csr, upload_matrix, upload_sliced,
+};
+use pipad_models::normalize_snapshot;
+use pipad_sparse::SlicedCsr;
+use pipad_tensor::{seeded_rng, uniform};
+use std::rc::Rc;
+
+fn bench_aggregation_kernels(c: &mut Criterion) {
+    let g = dataset(DatasetId::Epinions, RunScale::Tiny);
+    let norm = normalize_snapshot(&g.snapshots[0].adj);
+    let sliced = Rc::new(SlicedCsr::from_csr(&norm.adj_hat));
+    let mut rng = seeded_rng(1);
+    let x = uniform(&mut rng, g.n(), 16, 1.0);
+
+    let mut group = c.benchmark_group("aggregation");
+    group.bench_function(BenchmarkId::new("coo_scatter", "epinions"), |b| {
+        b.iter(|| {
+            let mut gpu = Gpu::new(DeviceConfig::v100());
+            let s = gpu.default_stream();
+            let adj = upload_csr(&mut gpu, s, Rc::clone(&norm.adj_hat), true).unwrap();
+            let dx = upload_matrix(&mut gpu, s, &x, true).unwrap();
+            spmm_coo_scatter(&mut gpu, s, &adj, &dx).unwrap()
+        })
+    });
+    group.bench_function(BenchmarkId::new("gespmm", "epinions"), |b| {
+        b.iter(|| {
+            let mut gpu = Gpu::new(DeviceConfig::v100());
+            let s = gpu.default_stream();
+            let adj = upload_csr(&mut gpu, s, Rc::clone(&norm.adj_hat), true).unwrap();
+            let dx = upload_matrix(&mut gpu, s, &x, true).unwrap();
+            spmm_gespmm(&mut gpu, s, &adj, &dx).unwrap()
+        })
+    });
+    group.bench_function(BenchmarkId::new("sliced_parallel", "epinions"), |b| {
+        b.iter(|| {
+            let mut gpu = Gpu::new(DeviceConfig::v100());
+            let s = gpu.default_stream();
+            let adj = upload_sliced(&mut gpu, s, Rc::clone(&sliced), true).unwrap();
+            let dx = upload_matrix(&mut gpu, s, &x, true).unwrap();
+            spmm_sliced_parallel(&mut gpu, s, &adj, &dx, 1).unwrap()
+        })
+    });
+    group.finish();
+
+    // Figure 5's dimension sweep as a wall-clock bench.
+    let mut sweep = c.benchmark_group("fig5_dim_sweep");
+    for dim in [2usize, 8, 32, 128] {
+        let xd = uniform(&mut rng, g.n(), dim, 1.0);
+        sweep.bench_with_input(BenchmarkId::new("gespmm", dim), &dim, |b, _| {
+            b.iter(|| {
+                let mut gpu = Gpu::new(DeviceConfig::v100());
+                let s = gpu.default_stream();
+                let adj = upload_csr(&mut gpu, s, Rc::clone(&norm.adj_hat), true).unwrap();
+                let dx = upload_matrix(&mut gpu, s, &xd, true).unwrap();
+                spmm_gespmm(&mut gpu, s, &adj, &dx).unwrap()
+            })
+        });
+    }
+    sweep.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_aggregation_kernels
+}
+criterion_main!(benches);

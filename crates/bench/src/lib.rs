@@ -1,0 +1,34 @@
+//! # pipad-bench
+//!
+//! The reproduction harness: one module per table/figure of the paper's
+//! evaluation (§5), each regenerating the same rows/series the paper
+//! reports — on the simulated V100, at a configurable dataset scale.
+//!
+//! | module | reproduces |
+//! |---|---|
+//! | [`table1`] | Table 1 — dataset statistics (paper values + our synthetic analogues) |
+//! | [`breakdown`] | Figure 3 — PyGT latency breakdown & SM utilization; Figure 4 — GPU computation-time breakdown |
+//! | [`fig5`] | Figure 5 — global-memory requests/transactions vs feature dimension |
+//! | [`fig9`] | Figure 9 — offline parallel-GNN analysis (speedup vs overlap rate / feature dimension) |
+//! | [`grid`] | Figure 10 — end-to-end speedup over PyGT; Table 2 — GPU utilization |
+//! | [`fig11`] | Figure 11 — parallel-GNN speedup, memory-efficiency and dimension sensitivity; §5.3 thread utilization |
+//! | [`fig12`] | Figure 12 — load balance and overall speedup of the sliced CSR |
+//! | [`ablation`] | extension: hardware-sensitivity and per-mechanism ablations |
+//!
+//! Run everything with the `repro` binary:
+//!
+//! ```text
+//! cargo run --release -p pipad-bench --bin repro -- all --scale laptop
+//! ```
+
+pub mod ablation;
+pub mod breakdown;
+pub mod fig11;
+pub mod fig12;
+pub mod fig5;
+pub mod fig9;
+pub mod grid;
+pub mod table1;
+pub mod util;
+
+pub use util::{default_training_config, Method, RunScale};

@@ -1,0 +1,161 @@
+//! Shared harness plumbing: method dispatch, configs, text-table output.
+
+use pipad::{train_pipad, PipadConfig};
+use pipad_baselines::{train_baseline, BaselineKind};
+use pipad_dyngraph::{DatasetId, DynamicGraph, Scale};
+use pipad_gpu_sim::{DeviceConfig, Gpu};
+use pipad_models::{ModelKind, TrainReport, TrainingConfig};
+
+/// Dataset scale for a harness run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RunScale {
+    /// Seconds-fast, CI-sized.
+    Tiny,
+    /// The default evaluation scale (README/EXPERIMENTS numbers).
+    Laptop,
+}
+
+impl RunScale {
+    pub fn to_dataset_scale(self) -> Scale {
+        match self {
+            RunScale::Tiny => Scale::Tiny,
+            RunScale::Laptop => Scale::Laptop,
+        }
+    }
+
+    pub fn parse(s: &str) -> Option<RunScale> {
+        match s {
+            "tiny" => Some(RunScale::Tiny),
+            "laptop" => Some(RunScale::Laptop),
+            _ => None,
+        }
+    }
+
+    pub fn label(self) -> &'static str {
+        match self {
+            RunScale::Tiny => "tiny",
+            RunScale::Laptop => "laptop",
+        }
+    }
+}
+
+/// All five compared training systems.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Method {
+    Pygt,
+    PygtA,
+    PygtR,
+    PygtG,
+    Pipad,
+}
+
+impl Method {
+    pub const ALL: [Method; 5] = [
+        Method::Pygt,
+        Method::PygtA,
+        Method::PygtR,
+        Method::PygtG,
+        Method::Pipad,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Method::Pygt => "PyGT",
+            Method::PygtA => "PyGT-A",
+            Method::PygtR => "PyGT-R",
+            Method::PygtG => "PyGT-G",
+            Method::Pipad => "PiPAD",
+        }
+    }
+
+    /// Train on a fresh simulated device and return the report.
+    pub fn run(
+        self,
+        model: ModelKind,
+        graph: &DynamicGraph,
+        hidden: usize,
+        cfg: &TrainingConfig,
+    ) -> TrainReport {
+        let mut gpu = Gpu::new(DeviceConfig::v100());
+        match self {
+            Method::Pipad => train_pipad(
+                &mut gpu,
+                model,
+                graph,
+                hidden,
+                cfg,
+                &PipadConfig::default(),
+            )
+            .expect("PiPAD run failed"),
+            baseline => {
+                let kind = match baseline {
+                    Method::Pygt => BaselineKind::Pygt,
+                    Method::PygtA => BaselineKind::PygtA,
+                    Method::PygtR => BaselineKind::PygtR,
+                    Method::PygtG => BaselineKind::PygtG,
+                    Method::Pipad => unreachable!(),
+                };
+                train_baseline(&mut gpu, kind, model, graph, hidden, cfg)
+                    .expect("baseline run failed")
+            }
+        }
+    }
+}
+
+/// The harness training configuration: the paper's frame size (16), two
+/// preparing epochs and two measured steady-state epochs (steady epochs are
+/// statistically identical, so the per-epoch time extrapolates to the
+/// paper's 200-epoch runs).
+pub fn default_training_config(_scale: RunScale) -> TrainingConfig {
+    TrainingConfig {
+        window: 16,
+        epochs: 4,
+        preparing_epochs: 2,
+        lr: 0.01,
+        seed: 7,
+    }
+}
+
+/// Generate a dataset at the requested scale.
+pub fn dataset(id: DatasetId, scale: RunScale) -> DynamicGraph {
+    id.gen_config(scale.to_dataset_scale()).generate()
+}
+
+/// Right-pad to a column width.
+pub fn pad(s: &str, w: usize) -> String {
+    format!("{s:<w$}")
+}
+
+/// Format a ratio as `N.NNx`.
+pub fn speedup(x: f64) -> String {
+    format!("{x:.2}x")
+}
+
+/// Section header for harness output.
+pub fn header(title: &str) -> String {
+    format!("\n=== {title} ===\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_parse_round_trip() {
+        assert_eq!(RunScale::parse("tiny"), Some(RunScale::Tiny));
+        assert_eq!(RunScale::parse("laptop"), Some(RunScale::Laptop));
+        assert_eq!(RunScale::parse("paper"), None);
+        assert_eq!(RunScale::Tiny.label(), "tiny");
+    }
+
+    #[test]
+    fn methods_cover_figure_10_legend() {
+        let names: Vec<&str> = Method::ALL.iter().map(|m| m.name()).collect();
+        assert_eq!(names, vec!["PyGT", "PyGT-A", "PyGT-R", "PyGT-G", "PiPAD"]);
+    }
+
+    #[test]
+    fn config_uses_paper_frame_size() {
+        assert_eq!(default_training_config(RunScale::Laptop).window, 16);
+    }
+}

@@ -1,0 +1,404 @@
+//! The PiPAD trainer: pipeline controller (component ❺ of Figure 7) tying
+//! together the analyzer, partition catalog, dynamic tuner, inter-frame
+//! reuse and the partition-parallel executor.
+//!
+//! Execution follows Figure 8:
+//!
+//! * **preparing epochs** train one snapshot at a time with asynchronous
+//!   transfers while collecting the statistics the tuner needs (per-frame
+//!   peak memory, compute time, transfer volume) and populating the
+//!   CPU-side reuse store; graph slicing and overlap extraction also run
+//!   here, once for all;
+//! * the tuner then fixes `S_per` per frame ("we only perform this
+//!   procedure once and stick to the generated configurations");
+//! * **steady epochs** run partition-parallel with inter-frame reuse, the
+//!   non-GNN kernel stream in CUDA-graph mode, and transfers overlapping
+//!   compute on separate lanes.
+
+use crate::analyzer::GraphAnalyzer;
+use crate::exec::{ExecOptions, PipadExecutor};
+use crate::prep::PartitionCatalog;
+use crate::reuse::InterFrameReuse;
+use crate::tuner::{DynamicTuner, FrameProfile, OfflineTable};
+use pipad_autograd::Tape;
+use pipad_dyngraph::{DynamicGraph, FrameIter};
+use pipad_gpu_sim::{Gpu, OomError, SimNanos};
+use pipad_models::{build_model, EpochReport, ModelKind, TrainReport, TrainingConfig};
+use pipad_tensor::Matrix;
+
+/// PiPAD-specific knobs (the defaults reproduce the paper's setup).
+#[derive(Clone, Debug)]
+pub struct PipadConfig {
+    /// Offline parallel-GNN analysis table feeding the tuner.
+    pub offline_table: OfflineTable,
+    /// Override the tuner and force a fixed `S_per` (used by the analysis
+    /// harnesses, e.g. Figure 9's sweeps).
+    pub force_s_per: Option<usize>,
+    /// Enable the two-tier inter-frame reuse.
+    pub inter_frame_reuse: bool,
+    /// Launch the per-frame kernel stream in CUDA-graph mode.
+    pub cuda_graph: bool,
+    /// Fraction of post-peak device headroom granted to the GPU-side reuse
+    /// buffer.
+    pub gpu_cache_headroom_frac: f64,
+    /// Use sliced CSR + the parallel kernel (default). `false` runs the
+    /// Figure 12 ablation: plain CSR with the GE-SpMM kernel, everything
+    /// else unchanged.
+    pub use_sliced: bool,
+}
+
+impl Default for PipadConfig {
+    fn default() -> Self {
+        PipadConfig {
+            offline_table: OfflineTable::default(),
+            force_s_per: None,
+            inter_frame_reuse: true,
+            cuda_graph: true,
+            gpu_cache_headroom_frac: 0.5,
+            use_sliced: true,
+        }
+    }
+}
+
+/// Train `model_kind` on `graph` with the full PiPAD framework.
+pub fn train_pipad(
+    gpu: &mut Gpu,
+    model_kind: ModelKind,
+    graph: &DynamicGraph,
+    hidden: usize,
+    cfg: &TrainingConfig,
+    pcfg: &PipadConfig,
+) -> Result<TrainReport, OomError> {
+    let compute = gpu.default_stream();
+    let copy = gpu.create_stream();
+    let model = build_model(gpu, model_kind, graph.feature_dim(), hidden, cfg.seed)?;
+    let mut host_cursor = SimNanos::ZERO;
+    let run_t0 = gpu.synchronize();
+
+    // ---- one-off preparation (first preparing epoch) ----------------------
+    let analyzer = GraphAnalyzer::run(gpu, graph, &mut host_cursor);
+    let catalog = PartitionCatalog::build(gpu, &analyzer, &mut host_cursor);
+
+    let mut reuse = InterFrameReuse::new(0);
+    let n_frames = FrameIter::count_frames(graph, cfg.window);
+    let mut frame_profiles: Vec<FrameProfile> = Vec::with_capacity(n_frames);
+    let mut decisions: Vec<usize> = Vec::new();
+    let mut epochs = Vec::with_capacity(cfg.epochs);
+    let mut steady_t0 = SimNanos::ZERO;
+    let mut steady_snap = None;
+    let preparing = cfg.preparing_epochs.clamp(1, cfg.epochs);
+
+    for epoch in 0..cfg.epochs {
+        let t0 = gpu.synchronize().max(host_cursor);
+        let is_preparing = epoch < preparing;
+        if epoch == preparing {
+            steady_snap = Some(gpu.profiler().snapshot());
+            steady_t0 = t0;
+        }
+        // Fresh GPU-side cache per epoch (the sliding window restarts).
+        reuse.gpu_cache.clear(gpu);
+
+        let mut losses = Vec::new();
+        for (fi, frame) in FrameIter::new(graph, cfg.window).enumerate() {
+            let feats: Vec<&Matrix> = frame.snapshots().iter().map(|s| &s.features).collect();
+            let s_per = if is_preparing {
+                1
+            } else {
+                pcfg.force_s_per.unwrap_or(decisions[fi])
+            };
+            let opts = ExecOptions {
+                s_per,
+                needs_adjacency_when_cached: model.needs_hidden_aggregation(),
+                weight_reuse: !is_preparing && model.supports_weight_reuse(),
+                inter_frame_reuse: pcfg.inter_frame_reuse,
+                use_sliced: pcfg.use_sliced,
+            };
+            gpu.reset_peak_mem();
+            let frame_snap = gpu.profiler().snapshot();
+
+            let mut exec = PipadExecutor::stage(
+                gpu,
+                &analyzer,
+                &catalog,
+                &feats,
+                frame.start,
+                opts,
+                pcfg.inter_frame_reuse.then_some(&mut reuse),
+                compute,
+                copy,
+                &mut host_cursor,
+            )?;
+            let mut tape = Tape::new(compute);
+            let target = graph.target_for(frame.last_index());
+            let loss;
+            if !is_preparing && pcfg.cuda_graph {
+                let out = gpu.graph_scope(compute, |gpu| -> Result<_, OomError> {
+                    let out = model.forward_frame(gpu, &mut tape, &mut exec)?;
+                    tape.backward_mse(gpu, out.pred, target)?;
+                    Ok(out)
+                })?;
+                loss = tape.mse_loss(gpu, out.pred, target);
+                out.binder.apply_sgd(gpu, compute, &tape, cfg.lr);
+            } else {
+                let out = model.forward_frame(gpu, &mut tape, &mut exec)?;
+                loss = tape.mse_loss(gpu, out.pred, target);
+                tape.backward_mse(gpu, out.pred, target)?;
+                out.binder.apply_sgd(gpu, compute, &tape, cfg.lr);
+            }
+            losses.push(loss);
+            tape.finish(gpu);
+            exec.finish(gpu);
+
+            // Entries below the next frame's start have left the window.
+            reuse.gpu_cache.retire_below(gpu, frame.start + 1);
+
+            if is_preparing && epoch == preparing - 1 {
+                // Last preparing epoch: record the tuner's inputs.
+                let w = gpu.profiler().window(frame_snap);
+                frame_profiles.push(FrameProfile {
+                    peak_mem_one_snapshot: gpu.mem().peak(),
+                    compute_time: w.compute_total,
+                    transfer_bytes: w.h2d_bytes + w.d2h_bytes,
+                });
+            }
+        }
+
+        if is_preparing && epoch == preparing - 1 {
+            // Decide S_per per frame, once, and size the GPU reuse buffer.
+            let max_peak = frame_profiles
+                .iter()
+                .map(|p| p.peak_mem_one_snapshot)
+                .max()
+                .unwrap_or(0);
+            let headroom = gpu
+                .cfg()
+                .capacity_bytes
+                .saturating_sub(gpu.mem().in_use())
+                .saturating_sub(max_peak.saturating_mul(2));
+            reuse
+                .gpu_cache
+                .set_budget((headroom as f64 * pcfg.gpu_cache_headroom_frac) as u64);
+            let tuner = DynamicTuner::new(
+                pcfg.offline_table.clone(),
+                gpu.cfg()
+                    .capacity_bytes
+                    .saturating_sub(gpu.mem().in_use()),
+                gpu.cfg().pcie_pinned_bytes_per_us,
+                graph.feature_dim(),
+            );
+            decisions = frame_profiles
+                .iter()
+                .enumerate()
+                .map(|(fi, p)| tuner.decide(p, &catalog, fi, cfg.window).s_per)
+                .collect();
+        }
+
+        let t1 = gpu.synchronize().max(host_cursor);
+        epochs.push(EpochReport {
+            epoch,
+            mean_loss: losses.iter().sum::<f32>() / losses.len().max(1) as f32,
+            sim_time: t1 - t0,
+        });
+    }
+
+    reuse.gpu_cache.clear(gpu);
+    let run_t1 = gpu.synchronize().max(host_cursor);
+    let steady_snap = steady_snap.unwrap_or_else(|| gpu.profiler().snapshot());
+    let steady = gpu.profiler().window(steady_snap);
+    let steady_epochs = (cfg.epochs - preparing).max(1);
+    Ok(TrainReport {
+        trainer: "PiPAD".to_string(),
+        model: model_kind,
+        dataset: graph.name.clone(),
+        epochs,
+        total_time: run_t1 - run_t0,
+        steady_epoch_time: SimNanos::from_nanos(
+            (run_t1 - steady_t0).as_nanos() / steady_epochs as u64,
+        ),
+        steady,
+        peak_mem: gpu.mem().peak(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pipad_dyngraph::{DatasetId, Scale};
+    use pipad_gpu_sim::DeviceConfig;
+
+    fn tiny_graph() -> DynamicGraph {
+        DatasetId::Covid19England.gen_config(Scale::Tiny).generate()
+    }
+
+    fn tiny_cfg() -> TrainingConfig {
+        TrainingConfig {
+            window: 8,
+            epochs: 4,
+            preparing_epochs: 2,
+            lr: 0.01,
+            seed: 3,
+        }
+    }
+
+    #[test]
+    fn pipad_trains_and_converges() {
+        let mut gpu = Gpu::new(DeviceConfig::v100());
+        let g = tiny_graph();
+        let r = train_pipad(
+            &mut gpu,
+            ModelKind::TGcn,
+            &g,
+            8,
+            &tiny_cfg(),
+            &PipadConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(r.epochs.len(), 4);
+        let l = r.losses();
+        assert!(l.iter().all(|x| x.is_finite()));
+        assert!(l.last().unwrap() <= &l[0]);
+        // All tape/frame memory released (model params remain).
+        assert!(gpu.mem().live_buffers() > 0);
+    }
+
+    #[test]
+    fn steady_epochs_are_faster_than_preparing() {
+        let mut gpu = Gpu::new(DeviceConfig::v100());
+        let g = tiny_graph();
+        let r = train_pipad(
+            &mut gpu,
+            ModelKind::TGcn,
+            &g,
+            8,
+            &tiny_cfg(),
+            &PipadConfig::default(),
+        )
+        .unwrap();
+        let prep_time = r.epochs[1].sim_time; // one-snapshot epoch (no slicing)
+        let steady_time = r.epochs[3].sim_time;
+        assert!(
+            steady_time < prep_time,
+            "steady {steady_time} vs preparing {prep_time}"
+        );
+    }
+
+    #[test]
+    fn numerics_match_the_baseline_trainer() {
+        // Same seed + same data → PiPAD's reorganized execution must produce
+        // the same loss trajectory as the canonical one (within fp drift).
+        let g = tiny_graph();
+        let cfg = tiny_cfg();
+        let mut g1 = Gpu::new(DeviceConfig::v100());
+        let base = pipad_baselines::train_baseline(
+            &mut g1,
+            pipad_baselines::BaselineKind::PygtA,
+            ModelKind::MpnnLstm,
+            &g,
+            8,
+            &cfg,
+        )
+        .unwrap();
+        let mut g2 = Gpu::new(DeviceConfig::v100());
+        let ours = train_pipad(
+            &mut g2,
+            ModelKind::MpnnLstm,
+            &g,
+            8,
+            &cfg,
+            &PipadConfig::default(),
+        )
+        .unwrap();
+        for (a, b) in ours.losses().iter().zip(base.losses()) {
+            assert!((a - b).abs() < 5e-3, "pipad {a} vs baseline {b}");
+        }
+    }
+
+    #[test]
+    fn pipad_beats_pygt_a_end_to_end() {
+        let g = tiny_graph();
+        let cfg = tiny_cfg();
+        let mut g1 = Gpu::new(DeviceConfig::v100());
+        let base = pipad_baselines::train_baseline(
+            &mut g1,
+            pipad_baselines::BaselineKind::PygtA,
+            ModelKind::TGcn,
+            &g,
+            8,
+            &cfg,
+        )
+        .unwrap();
+        let mut g2 = Gpu::new(DeviceConfig::v100());
+        let ours = train_pipad(
+            &mut g2,
+            ModelKind::TGcn,
+            &g,
+            8,
+            &cfg,
+            &PipadConfig::default(),
+        )
+        .unwrap();
+        assert!(
+            ours.steady_epoch_time < base.steady_epoch_time,
+            "pipad {} vs pygt-a {}",
+            ours.steady_epoch_time,
+            base.steady_epoch_time
+        );
+    }
+
+    #[test]
+    fn tiny_capacity_forces_small_partitions_without_oom() {
+        let g = tiny_graph();
+        let cfg = tiny_cfg();
+        // Just enough memory for the model and a couple of snapshots.
+        let mut gpu = Gpu::new(DeviceConfig::with_capacity(3 << 20));
+        let r = train_pipad(
+            &mut gpu,
+            ModelKind::TGcn,
+            &g,
+            8,
+            &cfg,
+            &PipadConfig::default(),
+        );
+        assert!(r.is_ok(), "tuner must avoid OOM: {:?}", r.err());
+    }
+
+    #[test]
+    fn impossible_capacity_errors_cleanly() {
+        // A device too small even for the model parameters must surface an
+        // OomError, never panic or corrupt state.
+        let g = tiny_graph();
+        let mut gpu = Gpu::new(DeviceConfig::with_capacity(64));
+        let r = train_pipad(
+            &mut gpu,
+            ModelKind::MpnnLstm,
+            &g,
+            32,
+            &tiny_cfg(),
+            &PipadConfig::default(),
+        );
+        assert!(r.is_err());
+        assert_eq!(gpu.mem().in_use(), 0, "failed setup must not leak");
+    }
+
+    #[test]
+    fn forced_s_per_is_respected() {
+        let g = tiny_graph();
+        let cfg = tiny_cfg();
+        let mut gpu = Gpu::new(DeviceConfig::v100());
+        let pcfg = PipadConfig {
+            force_s_per: Some(2),
+            inter_frame_reuse: false,
+            ..Default::default()
+        };
+        let r = train_pipad(&mut gpu, ModelKind::EvolveGcn, &g, 8, &cfg, &pcfg).unwrap();
+        assert!(r.losses().iter().all(|l| l.is_finite()));
+        // with reuse off, parallel aggregations must appear
+        let n_parallel = gpu
+            .profiler()
+            .samples()
+            .iter()
+            .filter(|s| s.name == "spmm_sliced_parallel")
+            .count();
+        assert!(n_parallel > 0);
+    }
+}

@@ -1,0 +1,165 @@
+//! The sliding-window *frame* mechanism (paper Figure 1).
+//!
+//! DTDG models consume `window` consecutive snapshots per training step and
+//! slide forward by stride 1 for maximal temporal interaction (§3.3) — which
+//! is precisely what creates the inter-frame snapshot overlap PiPAD's reuse
+//! mechanism exploits.
+
+use crate::snapshot::{DynamicGraph, Snapshot};
+
+/// One training window: `window` consecutive snapshots starting at `start`.
+#[derive(Clone, Copy, Debug)]
+pub struct Frame<'g> {
+    /// Global index of the first snapshot in the frame.
+    pub start: usize,
+    snapshots: &'g [Snapshot],
+}
+
+impl<'g> Frame<'g> {
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.snapshots.len()
+    }
+
+    /// Whether there are no elements.
+    pub fn is_empty(&self) -> bool {
+        self.snapshots.is_empty()
+    }
+
+    /// The analyzed snapshots.
+    pub fn snapshots(&self) -> &'g [Snapshot] {
+        self.snapshots
+    }
+
+    /// Global snapshot index of the i-th member.
+    pub fn global_index(&self, i: usize) -> usize {
+        self.start + i
+    }
+
+    /// Index of the last snapshot in the frame (whose successor is the
+    /// prediction target).
+    pub fn last_index(&self) -> usize {
+        self.start + self.snapshots.len() - 1
+    }
+
+    /// Split the frame into partitions of `s_per` consecutive snapshots
+    /// (§4.4 distributes snapshots uniformly over partitions; a trailing
+    /// remainder forms a smaller final partition).
+    pub fn partitions(&self, s_per: usize) -> Vec<&'g [Snapshot]> {
+        assert!(s_per > 0);
+        self.snapshots.chunks(s_per).collect()
+    }
+}
+
+/// Iterator over all frames of a dynamic graph, stride 1.
+pub struct FrameIter<'g> {
+    graph: &'g DynamicGraph,
+    window: usize,
+    pos: usize,
+}
+
+impl<'g> FrameIter<'g> {
+    /// Frames of `window` snapshots; the last frame still leaves one
+    /// trailing snapshot as a prediction target.
+    pub fn new(graph: &'g DynamicGraph, window: usize) -> Self {
+        assert!(window >= 1, "frame window must be at least 1");
+        assert!(
+            graph.len() > window,
+            "need more than {window} snapshots for one frame plus a target"
+        );
+        FrameIter {
+            graph,
+            window,
+            pos: 0,
+        }
+    }
+
+    /// How many frames this iterator yields.
+    pub fn count_frames(graph: &DynamicGraph, window: usize) -> usize {
+        graph.len().saturating_sub(window)
+    }
+}
+
+impl<'g> Iterator for FrameIter<'g> {
+    type Item = Frame<'g>;
+
+    fn next(&mut self) -> Option<Frame<'g>> {
+        if self.pos + self.window >= self.graph.len() {
+            return None;
+        }
+        let f = Frame {
+            start: self.pos,
+            snapshots: &self.graph.snapshots[self.pos..self.pos + self.window],
+        };
+        self.pos += 1;
+        Some(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pipad_sparse::Csr;
+    use pipad_tensor::Matrix;
+
+    fn graph(n_snapshots: usize) -> DynamicGraph {
+        let snaps = (0..n_snapshots)
+            .map(|t| {
+                Snapshot::new(
+                    Csr::from_edges(3, 3, &[(0, 1), (1, 0)]),
+                    Matrix::full(3, 2, t as f32),
+                )
+            })
+            .collect();
+        DynamicGraph::new("g", snaps)
+    }
+
+    #[test]
+    fn frames_slide_by_one() {
+        let g = graph(6);
+        let frames: Vec<_> = FrameIter::new(&g, 4).collect();
+        assert_eq!(frames.len(), 2);
+        assert_eq!(frames[0].start, 0);
+        assert_eq!(frames[1].start, 1);
+        assert_eq!(frames[0].last_index(), 3);
+        assert_eq!(FrameIter::count_frames(&g, 4), 2);
+    }
+
+    #[test]
+    fn adjacent_frames_overlap_by_window_minus_one() {
+        let g = graph(8);
+        let frames: Vec<_> = FrameIter::new(&g, 4).collect();
+        let a: Vec<usize> = (0..4).map(|i| frames[0].global_index(i)).collect();
+        let b: Vec<usize> = (0..4).map(|i| frames[1].global_index(i)).collect();
+        let shared = a.iter().filter(|i| b.contains(i)).count();
+        assert_eq!(shared, 3);
+    }
+
+    #[test]
+    fn partitions_chunk_uniformly() {
+        let g = graph(20);
+        let f = FrameIter::new(&g, 16).next().unwrap();
+        let parts = f.partitions(4);
+        assert_eq!(parts.len(), 4);
+        assert!(parts.iter().all(|p| p.len() == 4));
+        let parts = f.partitions(5);
+        assert_eq!(parts.len(), 4);
+        assert_eq!(parts.last().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn frame_target_follows_window() {
+        let g = graph(6);
+        let f = FrameIter::new(&g, 4).next().unwrap();
+        // target of frame [0..4) is snapshot 4's features
+        let target = g.target_for(f.last_index());
+        assert_eq!(target[(0, 0)], 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "need more than")]
+    fn too_few_snapshots_rejected() {
+        let g = graph(4);
+        let _ = FrameIter::new(&g, 4);
+    }
+}

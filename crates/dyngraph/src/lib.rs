@@ -1,0 +1,32 @@
+#![warn(missing_docs)]
+//! # pipad-dyngraph
+//!
+//! Discrete-Time Dynamic Graphs (DTDGs) for the PiPAD reproduction: snapshot
+//! sequences, the sliding-window *frame* mechanism, and synthetic generators
+//! parameterized to the seven evaluation datasets of the paper's Table 1.
+//!
+//! ## Why synthetic graphs
+//!
+//! The paper evaluates on Network Repository / ASTGNN datasets that are not
+//! available here. The performance story, however, depends only on
+//! *structural statistics* — vertex count, per-snapshot edge count, degree
+//! skew, feature dimension, snapshot count and the ~10 % inter-snapshot
+//! change rate (§3.1 "Topology overlap"). [`GenConfig`] captures those
+//! statistics; [`DatasetId`] instantiates them per dataset at paper scale or
+//! at a laptop-sized scale factor recorded in the output.
+//!
+//! Generated graphs are undirected (symmetric adjacency, which lets the GCN
+//! backward pass reuse the forward aggregation operator), Chung-Lu-style
+//! skewed, and evolve by replacing a `change_rate` fraction of edges per
+//! snapshot — which yields exactly the high adjacent-snapshot topology
+//! overlap the paper exploits.
+
+mod datasets;
+mod frame;
+mod generator;
+mod snapshot;
+
+pub use datasets::{DatasetId, Scale, ALL_DATASETS};
+pub use frame::{Frame, FrameIter};
+pub use generator::{DatasetStats, GenConfig};
+pub use snapshot::{DynamicGraph, Snapshot};

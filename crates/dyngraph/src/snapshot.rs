@@ -1,0 +1,157 @@
+//! Snapshots and snapshot sequences.
+
+use pipad_sparse::Csr;
+use pipad_tensor::Matrix;
+
+/// One timestep of a DTDG: `G^t = {V^t, E^t}` plus node features.
+#[derive(Clone, Debug)]
+pub struct Snapshot {
+    /// Symmetric adjacency (undirected), no self-loops; the GCN layer adds
+    /// `∪ {v}` itself per Equation 1.
+    pub adj: Csr,
+    /// `n × d` node feature matrix at this timestep.
+    pub features: Matrix,
+}
+
+impl Snapshot {
+    /// Create a new instance.
+    pub fn new(adj: Csr, features: Matrix) -> Self {
+        assert_eq!(adj.n_rows(), adj.n_cols(), "adjacency must be square");
+        assert_eq!(adj.n_rows(), features.rows(), "feature/vertex mismatch");
+        Snapshot { adj, features }
+    }
+
+    /// Vertex count.
+    pub fn n(&self) -> usize {
+        self.adj.n_rows()
+    }
+
+    /// Node feature dimension.
+    pub fn feature_dim(&self) -> usize {
+        self.features.cols()
+    }
+
+    /// Directed edge count (2× the undirected count for symmetric graphs).
+    pub fn n_edges(&self) -> usize {
+        self.adj.nnz()
+    }
+}
+
+/// An ordered snapshot sequence `{G^1 … G^T}`.
+#[derive(Clone, Debug)]
+pub struct DynamicGraph {
+    /// Human-readable name.
+    pub name: String,
+    /// The analyzed snapshots.
+    pub snapshots: Vec<Snapshot>,
+}
+
+impl DynamicGraph {
+    /// Create a new instance.
+    pub fn new(name: impl Into<String>, snapshots: Vec<Snapshot>) -> Self {
+        let name = name.into();
+        assert!(!snapshots.is_empty(), "dynamic graph needs snapshots");
+        let n = snapshots[0].n();
+        let d = snapshots[0].feature_dim();
+        assert!(
+            snapshots.iter().all(|s| s.n() == n && s.feature_dim() == d),
+            "all snapshots must share vertex count and feature dimension"
+        );
+        DynamicGraph { name, snapshots }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.snapshots.len()
+    }
+
+    /// Whether there are no elements.
+    pub fn is_empty(&self) -> bool {
+        self.snapshots.is_empty()
+    }
+
+    /// Vertex count.
+    pub fn n(&self) -> usize {
+        self.snapshots[0].n()
+    }
+
+    /// Node feature dimension.
+    pub fn feature_dim(&self) -> usize {
+        self.snapshots[0].feature_dim()
+    }
+
+    /// Total directed edges across all snapshots (Table 1's #E-S analogue).
+    pub fn total_edges(&self) -> usize {
+        self.snapshots.iter().map(Snapshot::n_edges).sum()
+    }
+
+    /// Mean topology overlap rate between adjacent snapshot pairs — the
+    /// statistic the paper reports as "nearly 10 % change on average".
+    pub fn mean_adjacent_overlap(&self) -> f64 {
+        if self.len() < 2 {
+            return 1.0;
+        }
+        let mut total = 0.0;
+        for w in self.snapshots.windows(2) {
+            total += pipad_sparse::overlap_rate(&[&w[0].adj, &w[1].adj]);
+        }
+        total / (self.len() - 1) as f64
+    }
+
+    /// The regression target used for training: at frame position `t` the
+    /// models predict snapshot `t`'s *next* node features.
+    pub fn target_for(&self, last_snapshot_idx: usize) -> &Matrix {
+        let idx = (last_snapshot_idx + 1).min(self.len() - 1);
+        &self.snapshots[idx].features
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(n: usize, edges: &[(u32, u32)], d: usize) -> Snapshot {
+        Snapshot::new(
+            Csr::from_edges(n, n, edges),
+            Matrix::from_fn(n, d, |r, c| (r + c) as f32),
+        )
+    }
+
+    #[test]
+    fn snapshot_accessors() {
+        let s = snap(4, &[(0, 1), (1, 0)], 3);
+        assert_eq!(s.n(), 4);
+        assert_eq!(s.feature_dim(), 3);
+        assert_eq!(s.n_edges(), 2);
+    }
+
+    #[test]
+    fn dynamic_graph_stats() {
+        let g = DynamicGraph::new(
+            "g",
+            vec![
+                snap(4, &[(0, 1), (1, 0)], 2),
+                snap(4, &[(0, 1), (1, 0)], 2),
+                snap(4, &[(2, 3), (3, 2)], 2),
+            ],
+        );
+        assert_eq!(g.len(), 3);
+        assert_eq!(g.total_edges(), 6);
+        // pair (0,1) fully overlaps; pair (1,2) not at all → mean 0.5
+        assert!((g.mean_adjacent_overlap() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn target_is_next_snapshot_features() {
+        let g = DynamicGraph::new("g", vec![snap(2, &[], 1), snap(2, &[], 1)]);
+        assert_eq!(g.target_for(0), &g.snapshots[1].features);
+        // clamped at the end
+        assert_eq!(g.target_for(5), &g.snapshots[1].features);
+    }
+
+    #[test]
+    #[should_panic(expected = "share vertex count")]
+    fn mismatched_snapshots_rejected() {
+        let _ = DynamicGraph::new("g", vec![snap(2, &[], 1), snap(3, &[], 1)]);
+    }
+}

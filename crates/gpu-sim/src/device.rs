@@ -1,0 +1,474 @@
+//! The simulated device: streams, events, kernel launches, PCIe transfers
+//! and host-op accounting, all advancing a deterministic integer timeline.
+//!
+//! ## Timeline model
+//!
+//! * One **compute lane**: kernels from all streams execute serially in
+//!   issue order (concurrent-kernel co-residency is not modeled; PiPAD
+//!   itself serializes kernels and relies on *fused multi-snapshot* kernels
+//!   plus transfer/compute overlap, which this model captures).
+//! * Two **copy-engine lanes** (H2D and D2H) that run concurrently with the
+//!   compute lane — this is what makes CUDA-stream pipelining (PyGT-A and
+//!   PiPAD's pipeline, Figure 8) effective.
+//! * Per-**stream** cursors provide ordering *within* a stream; events
+//!   provide ordering *between* streams and with the host.
+
+use crate::config::DeviceConfig;
+use crate::cost::KernelCost;
+use crate::memory::{BufferId, DeviceMemory, OomError};
+use crate::profiler::{Profiler, Sample, SampleKind};
+use crate::schedule::schedule_blocks;
+use crate::time::SimNanos;
+
+/// Direction of a PCIe transfer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TransferDir {
+    /// H2 D.
+    H2D,
+    /// D2 H.
+    D2H,
+}
+
+/// Handle to a simulated CUDA stream.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct StreamId(pub(crate) usize);
+
+/// A recorded timeline point, used for cross-stream and host↔device sync.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Event(pub(crate) SimNanos);
+
+impl Event {
+    /// The simulated timestamp.
+    pub fn time(&self) -> SimNanos {
+        self.0
+    }
+}
+
+/// The simulated GPU.
+pub struct Gpu {
+    cfg: DeviceConfig,
+    mem: DeviceMemory,
+    profiler: Profiler,
+    compute_cursor: SimNanos,
+    h2d_cursor: SimNanos,
+    d2h_cursor: SimNanos,
+    streams: Vec<SimNanos>,
+    graph_mode: bool,
+}
+
+impl Gpu {
+    /// Create a new instance.
+    pub fn new(cfg: DeviceConfig) -> Self {
+        let capacity = cfg.capacity_bytes;
+        Gpu {
+            cfg,
+            mem: DeviceMemory::new(capacity),
+            profiler: Profiler::new(),
+            compute_cursor: SimNanos::ZERO,
+            h2d_cursor: SimNanos::ZERO,
+            d2h_cursor: SimNanos::ZERO,
+            streams: vec![SimNanos::ZERO], // default stream 0
+            graph_mode: false,
+        }
+    }
+
+    /// The device configuration.
+    pub fn cfg(&self) -> &DeviceConfig {
+        &self.cfg
+    }
+
+    /// The device memory tracker.
+    pub fn mem(&self) -> &DeviceMemory {
+        &self.mem
+    }
+
+    /// The profiler sample log.
+    pub fn profiler(&self) -> &Profiler {
+        &self.profiler
+    }
+
+    /// The default stream (stream 0), always present.
+    pub fn default_stream(&self) -> StreamId {
+        StreamId(0)
+    }
+
+    /// Create a new stream.
+    pub fn create_stream(&mut self) -> StreamId {
+        self.streams.push(SimNanos::ZERO);
+        StreamId(self.streams.len() - 1)
+    }
+
+    /// Latest point any lane or stream has reached.
+    pub fn now(&self) -> SimNanos {
+        let mut t = self
+            .compute_cursor
+            .max(self.h2d_cursor)
+            .max(self.d2h_cursor);
+        for &s in &self.streams {
+            t = t.max(s);
+        }
+        t
+    }
+
+    // ---- memory ---------------------------------------------------------
+
+    /// Alloc.
+    pub fn alloc(&mut self, bytes: u64) -> Result<BufferId, OomError> {
+        self.mem.alloc(bytes)
+    }
+
+    /// Release the device allocation.
+    pub fn free(&mut self, id: BufferId) {
+        self.mem.free(id);
+    }
+
+    /// Reset peak mem.
+    pub fn reset_peak_mem(&mut self) {
+        self.mem.reset_peak();
+    }
+
+    // ---- kernels --------------------------------------------------------
+
+    /// Busy time (actual, balanced) for a kernel, independent of queueing.
+    pub fn kernel_busy(&self, cost: &KernelCost) -> (SimNanos, SimNanos) {
+        let eff = cost.warp_efficiency_milli.clamp(1, 1000) as u64;
+        // Low warp occupancy throttles arithmetic linearly, and achieved
+        // DRAM bandwidth down to a floor: a warp with few active lanes
+        // keeps fewer loads in flight (the paper's §3.2 low-thread-
+        // utilization problem), but cross-warp parallelism keeps some
+        // throughput even in the latency-bound regime.
+        let mem_throttle = (2 * eff).clamp(self.cfg.mem_efficiency_floor_milli, 1000);
+        let mem = SimNanos::from_bytes(cost.gmem_bytes(&self.cfg), self.cfg.hbm_bytes_per_us)
+            .scale(1000, mem_throttle);
+        let compute = SimNanos::from_units(cost.flops, self.cfg.flops_per_ns).scale(1000, eff);
+        let smem = SimNanos::from_units(cost.smem_transactions, self.cfg.smem_txn_per_ns);
+        let balanced = mem.max(compute).max(smem);
+        let report = schedule_blocks(&cost.block_work, self.cfg.block_slots());
+        let (num, den) = report.factor_ratio();
+        (balanced.scale(num, den), balanced)
+    }
+
+    fn enqueue_kernel(&mut self, stream: StreamId, cost: &KernelCost, overhead: SimNanos) -> Event {
+        let (busy, balanced) = self.kernel_busy(cost);
+        let queued = self.streams[stream.0].max(self.compute_cursor);
+        // The launch overhead is host/driver latency: the SMs are idle for
+        // it, so the recorded busy interval starts after it (this is what
+        // makes SM utilization drop when tiny kernels are launch-bound).
+        let start = queued + overhead;
+        let end = start + busy;
+        self.streams[stream.0] = end;
+        self.compute_cursor = end;
+        self.profiler.record(Sample {
+            name: cost.name,
+            kind: SampleKind::Kernel {
+                category: cost.category,
+                gmem_requests: cost.gmem_requests,
+                gmem_transactions: cost.gmem_transactions,
+                smem_transactions: cost.smem_transactions,
+                flops: cost.flops,
+                warp_efficiency_milli: cost.warp_efficiency_milli,
+                balanced,
+            },
+            start,
+            end,
+        });
+        Event(end)
+    }
+
+    /// Launch a kernel. Outside graph mode this pays the full per-launch
+    /// driver overhead; inside a [`Gpu::graph_scope`] it pays the amortized
+    /// CUDA-graph per-kernel cost instead.
+    pub fn launch(&mut self, stream: StreamId, cost: KernelCost) -> Event {
+        let overhead = if self.graph_mode {
+            SimNanos::from_nanos(self.cfg.graph_kernel_ns)
+        } else {
+            SimNanos::from_nanos(self.cfg.kernel_launch_ns)
+        };
+        self.enqueue_kernel(stream, &cost, overhead)
+    }
+
+    /// Run `f` with CUDA-graph launch semantics on `stream`: one fixed
+    /// whole-graph replay overhead up front, then every `launch` inside pays
+    /// only the per-kernel graph cost. Models §4.2's "launch these kernels
+    /// together with the CUDA Graph API".
+    pub fn graph_scope<R>(&mut self, stream: StreamId, f: impl FnOnce(&mut Gpu) -> R) -> R {
+        let was = self.graph_mode;
+        if !was {
+            self.charge_graph_launch(stream);
+        }
+        self.graph_mode = true;
+        let r = f(self);
+        self.graph_mode = was;
+        r
+    }
+
+    /// Launch a kernel as part of a captured CUDA graph (reduced overhead).
+    /// Usually reached through [`crate::CudaGraph::replay`].
+    pub fn launch_graphed(&mut self, stream: StreamId, cost: &KernelCost) -> Event {
+        let overhead = SimNanos::from_nanos(self.cfg.graph_kernel_ns);
+        self.enqueue_kernel(stream, cost, overhead)
+    }
+
+    /// Charge the fixed whole-graph replay overhead on a stream.
+    pub(crate) fn charge_graph_launch(&mut self, stream: StreamId) {
+        let start = self.streams[stream.0].max(self.compute_cursor);
+        let end = start + SimNanos::from_nanos(self.cfg.graph_launch_ns);
+        self.streams[stream.0] = end;
+        self.compute_cursor = end;
+    }
+
+    // ---- transfers ------------------------------------------------------
+
+    fn transfer(&mut self, stream: StreamId, bytes: u64, pinned: bool, dir: TransferDir) -> Event {
+        let bw = if pinned {
+            self.cfg.pcie_pinned_bytes_per_us
+        } else {
+            self.cfg.pcie_pageable_bytes_per_us
+        };
+        let dur = SimNanos::from_nanos(self.cfg.pcie_latency_ns) + SimNanos::from_bytes(bytes, bw);
+        let lane = match dir {
+            TransferDir::H2D => &mut self.h2d_cursor,
+            TransferDir::D2H => &mut self.d2h_cursor,
+        };
+        let start = self.streams[stream.0].max(*lane);
+        let end = start + dur;
+        *lane = end;
+        self.streams[stream.0] = end;
+        // A pageable copy blocks the host and, on the device side, implicitly
+        // synchronizes: model the latter by also holding back the compute
+        // lane (this is why PyGT's synchronous loading starves the GPU).
+        if !pinned {
+            self.compute_cursor = self.compute_cursor.max(end);
+        }
+        self.profiler.record(Sample {
+            name: match dir {
+                TransferDir::H2D => "memcpy_h2d",
+                TransferDir::D2H => "memcpy_d2h",
+            },
+            kind: SampleKind::Transfer { dir, bytes, pinned },
+            start,
+            end,
+        });
+        Event(end)
+    }
+
+    /// Host → device copy. `pinned` selects the fast DMA path and keeps the
+    /// copy asynchronous with respect to the compute lane.
+    pub fn h2d(&mut self, stream: StreamId, bytes: u64, pinned: bool) -> Event {
+        self.transfer(stream, bytes, pinned, TransferDir::H2D)
+    }
+
+    /// Device → host copy.
+    pub fn d2h(&mut self, stream: StreamId, bytes: u64, pinned: bool) -> Event {
+        self.transfer(stream, bytes, pinned, TransferDir::D2H)
+    }
+
+    // ---- synchronization ------------------------------------------------
+
+    /// Record the stream's current position.
+    pub fn record_event(&self, stream: StreamId) -> Event {
+        Event(self.streams[stream.0])
+    }
+
+    /// Make `stream` wait until `event` has completed.
+    pub fn wait_event(&mut self, stream: StreamId, event: Event) {
+        self.streams[stream.0] = self.streams[stream.0].max(event.0);
+    }
+
+    /// Make `stream` wait until an absolute host-side time (used when the
+    /// CPU finishes preparing data that a transfer depends on).
+    pub fn stream_wait_host(&mut self, stream: StreamId, t: SimNanos) {
+        self.streams[stream.0] = self.streams[stream.0].max(t);
+    }
+
+    /// Device-wide barrier: every lane and stream advances to `now()`.
+    pub fn synchronize(&mut self) -> SimNanos {
+        let t = self.now();
+        self.compute_cursor = t;
+        self.h2d_cursor = t;
+        self.d2h_cursor = t;
+        for s in &mut self.streams {
+            *s = t;
+        }
+        t
+    }
+
+    // ---- host accounting -------------------------------------------------
+
+    /// Record a host-side operation of length `dur` starting no earlier than
+    /// `after`; returns its (start, end). The caller owns host-lane cursors;
+    /// the profiler only needs the interval for Figure 3's "other" share.
+    pub fn host_op(&mut self, name: &'static str, after: SimNanos, dur: SimNanos) -> (SimNanos, SimNanos) {
+        let start = after;
+        let end = start + dur;
+        self.profiler.record(Sample {
+            name,
+            kind: SampleKind::Host,
+            start,
+            end,
+        });
+        (start, end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::{KernelCategory, KernelCost};
+
+    fn gpu() -> Gpu {
+        Gpu::new(DeviceConfig::v100())
+    }
+
+    fn small_kernel() -> KernelCost {
+        KernelCost::new("k", KernelCategory::Other)
+            .flops(14_000_000) // 1000ns of compute
+            .gmem(100, 100)
+    }
+
+    #[test]
+    fn kernels_serialize_on_compute_lane() {
+        let mut g = gpu();
+        let s1 = g.default_stream();
+        let s2 = g.create_stream();
+        let e1 = g.launch(s1, small_kernel());
+        let e2 = g.launch(s2, small_kernel());
+        // Even on different streams, the second kernel starts after the first.
+        assert!(e2.time() > e1.time());
+        let b = g.profiler().full();
+        assert_eq!(b.kernel_launches, 2);
+        // the second launch's driver overhead is an idle gap on the SMs
+        assert!(b.sm_utilization_milli < 1000);
+        assert!(b.sm_utilization_milli > 200);
+    }
+
+    #[test]
+    fn pinned_transfer_overlaps_compute() {
+        let mut g = gpu();
+        let compute_stream = g.default_stream();
+        let copy_stream = g.create_stream();
+        let k = g.launch(compute_stream, small_kernel());
+        let t = g.h2d(copy_stream, 1_200_000, true); // 100us + latency
+        // The copy started at 0, concurrent with the kernel.
+        let b = g.profiler().full();
+        assert!(b.h2d_time > SimNanos::ZERO);
+        let copy_sample = &g.profiler().samples()[1];
+        assert_eq!(copy_sample.start, SimNanos::ZERO);
+        assert!(t.time() > k.time()); // the copy is longer here
+    }
+
+    #[test]
+    fn pageable_transfer_blocks_compute() {
+        let mut g = gpu();
+        let s = g.default_stream();
+        let copy = g.create_stream();
+        let t = g.h2d(copy, 1_200_000, false);
+        let k = g.launch(s, small_kernel());
+        // The kernel could not start before the pageable copy finished.
+        let kernel_sample = g.profiler().samples().last().unwrap().clone();
+        assert!(kernel_sample.start >= t.time());
+        assert!(k.time() > t.time());
+    }
+
+    #[test]
+    fn events_order_streams() {
+        let mut g = gpu();
+        let a = g.default_stream();
+        let b = g.create_stream();
+        let t = g.h2d(b, 1_000_000, true);
+        let ev = g.record_event(b);
+        assert_eq!(ev.time(), t.time());
+        g.wait_event(a, ev);
+        let k = g.launch(a, small_kernel());
+        let ks = g.profiler().samples().last().unwrap();
+        assert!(ks.start >= t.time());
+        assert!(k.time() > t.time());
+    }
+
+    #[test]
+    fn graph_launch_is_cheaper_than_individual() {
+        let mut g1 = gpu();
+        let s1 = g1.default_stream();
+        for _ in 0..50 {
+            g1.launch(s1, small_kernel());
+        }
+        let individual = g1.now();
+
+        let mut g2 = gpu();
+        let s2 = g2.default_stream();
+        g2.charge_graph_launch(s2);
+        for _ in 0..50 {
+            let k = small_kernel();
+            g2.launch_graphed(s2, &k);
+        }
+        let graphed = g2.now();
+        assert!(graphed < individual, "graphed={graphed} ind={individual}");
+    }
+
+    #[test]
+    fn pinned_beats_pageable_bandwidth() {
+        let mut g = gpu();
+        let s = g.default_stream();
+        let t1 = g.h2d(s, 12_000_000, true);
+        let start2 = g.record_event(s).time();
+        let t2 = g.h2d(s, 12_000_000, false);
+        let pinned_dur = t1.time();
+        let pageable_dur = t2.time() - start2;
+        assert!(pageable_dur.as_nanos() > pinned_dur.as_nanos() * 3 / 2);
+    }
+
+    #[test]
+    fn synchronize_aligns_all_lanes() {
+        let mut g = gpu();
+        let s = g.default_stream();
+        let c = g.create_stream();
+        g.launch(s, small_kernel());
+        g.h2d(c, 10_000_000, true);
+        let t = g.synchronize();
+        assert_eq!(g.now(), t);
+        assert_eq!(g.record_event(s).time(), t);
+        assert_eq!(g.record_event(c).time(), t);
+    }
+
+    #[test]
+    fn imbalanced_blocks_slow_the_kernel() {
+        let g = gpu();
+        let balanced = small_kernel().uniform_blocks(640, 100);
+        let mut skew = vec![1u64; 639];
+        skew.push(63_400); // same total work, one hot block
+        let skewed = small_kernel().blocks(skew);
+        let (t_bal, _) = g.kernel_busy(&balanced);
+        let (t_skew, base) = g.kernel_busy(&skewed);
+        assert_eq!(t_bal, base);
+        assert!(t_skew.as_nanos() > t_bal.as_nanos() * 100);
+    }
+
+    #[test]
+    fn low_warp_efficiency_throttles_compute() {
+        let g = gpu();
+        let full = KernelCost::new("k", KernelCategory::Other).flops(14_000_000);
+        let half = KernelCost::new("k", KernelCategory::Other)
+            .flops(14_000_000)
+            .warp_efficiency(0.5);
+        let (t_full, _) = g.kernel_busy(&full);
+        let (t_half, _) = g.kernel_busy(&half);
+        assert_eq!(t_half.as_nanos(), t_full.as_nanos() * 2);
+    }
+
+    #[test]
+    fn host_op_recorded() {
+        let mut g = gpu();
+        let (s, e) = g.host_op("graph_slicing", SimNanos(100), SimNanos(50));
+        assert_eq!((s, e), (SimNanos(100), SimNanos(150)));
+        assert_eq!(g.profiler().full().host_time, SimNanos(50));
+    }
+
+    #[test]
+    fn oom_propagates() {
+        let mut g = Gpu::new(DeviceConfig::with_capacity(100));
+        let a = g.alloc(60).unwrap();
+        assert!(g.alloc(50).is_err());
+        g.free(a);
+        assert!(g.alloc(50).is_ok());
+    }
+}

@@ -1,0 +1,130 @@
+//! CUDA-graph style batched kernel launch.
+//!
+//! The paper (§4.2) follows OOB [31] in using the CUDA Graph API to launch
+//! the non-GNN kernels of a partition together, amortizing per-launch driver
+//! overhead. [`GraphBuilder`] captures a sequence of [`KernelCost`]s;
+//! [`CudaGraph::replay`] issues them back-to-back with the reduced per-kernel
+//! overhead plus one fixed graph-launch cost.
+
+use crate::cost::KernelCost;
+use crate::device::{Event, Gpu, StreamId};
+
+/// A captured sequence of kernels that can be replayed cheaply.
+#[derive(Clone, Debug, Default)]
+pub struct CudaGraph {
+    kernels: Vec<KernelCost>,
+}
+
+impl CudaGraph {
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.kernels.len()
+    }
+
+    /// Whether there are no elements.
+    pub fn is_empty(&self) -> bool {
+        self.kernels.is_empty()
+    }
+
+    /// Replay the captured kernels on `stream`. Returns the completion event
+    /// of the last kernel (or the stream position when empty).
+    pub fn replay(&self, gpu: &mut Gpu, stream: StreamId) -> Event {
+        if self.kernels.is_empty() {
+            return gpu.record_event(stream);
+        }
+        gpu.charge_graph_launch(stream);
+        let mut last = gpu.record_event(stream);
+        for k in &self.kernels {
+            last = gpu.launch_graphed(stream, k);
+        }
+        last
+    }
+}
+
+/// Captures kernels into a [`CudaGraph`].
+#[derive(Debug, Default)]
+pub struct GraphBuilder {
+    kernels: Vec<KernelCost>,
+}
+
+impl GraphBuilder {
+    /// Create a new instance.
+    pub fn new() -> Self {
+        GraphBuilder::default()
+    }
+
+    /// Add.
+    pub fn add(&mut self, cost: KernelCost) -> &mut Self {
+        self.kernels.push(cost);
+        self
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.kernels.len()
+    }
+
+    /// Whether there are no elements.
+    pub fn is_empty(&self) -> bool {
+        self.kernels.is_empty()
+    }
+
+    /// Build.
+    pub fn build(self) -> CudaGraph {
+        CudaGraph {
+            kernels: self.kernels,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DeviceConfig;
+    use crate::cost::{KernelCategory, KernelCost};
+
+    fn k() -> KernelCost {
+        KernelCost::new("k", KernelCategory::Rnn).flops(1_400_000)
+    }
+
+    #[test]
+    fn replay_runs_all_kernels() {
+        let mut gpu = Gpu::new(DeviceConfig::v100());
+        let s = gpu.default_stream();
+        let mut b = GraphBuilder::new();
+        for _ in 0..10 {
+            b.add(k());
+        }
+        let graph = b.build();
+        assert_eq!(graph.len(), 10);
+        graph.replay(&mut gpu, s);
+        assert_eq!(gpu.profiler().full().kernel_launches, 10);
+    }
+
+    #[test]
+    fn replay_beats_individual_launches() {
+        let mut g1 = Gpu::new(DeviceConfig::v100());
+        let s1 = g1.default_stream();
+        for _ in 0..20 {
+            g1.launch(s1, k());
+        }
+        let mut g2 = Gpu::new(DeviceConfig::v100());
+        let s2 = g2.default_stream();
+        let mut b = GraphBuilder::new();
+        for _ in 0..20 {
+            b.add(k());
+        }
+        b.build().replay(&mut g2, s2);
+        assert!(g2.now() < g1.now());
+    }
+
+    #[test]
+    fn empty_graph_is_noop() {
+        let mut gpu = Gpu::new(DeviceConfig::v100());
+        let s = gpu.default_stream();
+        let before = gpu.record_event(s);
+        let after = CudaGraph::default().replay(&mut gpu, s);
+        assert_eq!(before, after);
+        assert!(gpu.profiler().is_empty());
+    }
+}

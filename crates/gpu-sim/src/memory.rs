@@ -1,0 +1,201 @@
+//! Device memory accounting: allocations, frees, peak usage and OOM.
+//!
+//! The dynamic tuner (§4.4 of the paper) must pick the snapshots-per-
+//! partition setting without triggering out-of-memory, using the per-frame
+//! memory statistics gathered in the preparing epochs; this allocator is
+//! where those statistics come from.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Handle to a live device allocation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BufferId(u64);
+
+/// Returned when an allocation would exceed device capacity.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OomError {
+    /// The requested.
+    pub requested: u64,
+    /// Bytes currently allocated.
+    pub in_use: u64,
+    /// Total capacity in bytes.
+    pub capacity: u64,
+}
+
+impl fmt::Display for OomError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "device out of memory: requested {} B with {} / {} B in use",
+            self.requested, self.in_use, self.capacity
+        )
+    }
+}
+
+impl std::error::Error for OomError {}
+
+/// Tracks device allocations against a fixed capacity.
+#[derive(Debug)]
+pub struct DeviceMemory {
+    capacity: u64,
+    in_use: u64,
+    peak: u64,
+    next_id: u64,
+    live: HashMap<u64, u64>,
+    /// Cumulative counts for reporting.
+    total_allocs: u64,
+    total_frees: u64,
+}
+
+impl DeviceMemory {
+    /// Create a new instance.
+    pub fn new(capacity: u64) -> Self {
+        DeviceMemory {
+            capacity,
+            in_use: 0,
+            peak: 0,
+            next_id: 0,
+            live: HashMap::new(),
+            total_allocs: 0,
+            total_frees: 0,
+        }
+    }
+
+    /// Allocate `bytes`; fails with [`OomError`] past capacity.
+    pub fn alloc(&mut self, bytes: u64) -> Result<BufferId, OomError> {
+        if self.in_use + bytes > self.capacity {
+            return Err(OomError {
+                requested: bytes,
+                in_use: self.in_use,
+                capacity: self.capacity,
+            });
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        self.live.insert(id, bytes);
+        self.in_use += bytes;
+        self.peak = self.peak.max(self.in_use);
+        self.total_allocs += 1;
+        Ok(BufferId(id))
+    }
+
+    /// Release an allocation. Double-frees panic: they are always bugs in
+    /// the calling framework.
+    pub fn free(&mut self, id: BufferId) {
+        let bytes = self
+            .live
+            .remove(&id.0)
+            .expect("free of unknown or already-freed device buffer");
+        self.in_use -= bytes;
+        self.total_frees += 1;
+    }
+
+    /// Size of a live buffer, if it exists.
+    pub fn size_of(&self, id: BufferId) -> Option<u64> {
+        self.live.get(&id.0).copied()
+    }
+
+    /// Bytes currently allocated.
+    pub fn in_use(&self) -> u64 {
+        self.in_use
+    }
+
+    /// Peak bytes allocated since the last reset.
+    pub fn peak(&self) -> u64 {
+        self.peak
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Bytes still available.
+    pub fn headroom(&self) -> u64 {
+        self.capacity - self.in_use
+    }
+
+    /// Number of live allocations.
+    pub fn live_buffers(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Reset the peak-tracking watermark to current usage (used between
+    /// profiling windows, e.g. per frame).
+    pub fn reset_peak(&mut self) {
+        self.peak = self.in_use;
+    }
+
+    /// Total allocations performed.
+    pub fn total_allocs(&self) -> u64 {
+        self.total_allocs
+    }
+
+    /// Total frees performed.
+    pub fn total_frees(&self) -> u64 {
+        self.total_frees
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_free_cycle() {
+        let mut m = DeviceMemory::new(1000);
+        let a = m.alloc(400).unwrap();
+        let b = m.alloc(500).unwrap();
+        assert_eq!(m.in_use(), 900);
+        assert_eq!(m.peak(), 900);
+        assert_eq!(m.size_of(a), Some(400));
+        m.free(a);
+        assert_eq!(m.in_use(), 500);
+        assert_eq!(m.peak(), 900, "peak sticks");
+        m.free(b);
+        assert_eq!(m.in_use(), 0);
+        assert_eq!(m.live_buffers(), 0);
+        assert_eq!((m.total_allocs(), m.total_frees()), (2, 2));
+    }
+
+    #[test]
+    fn oom_is_reported_not_panicked() {
+        let mut m = DeviceMemory::new(100);
+        let _a = m.alloc(80).unwrap();
+        let err = m.alloc(30).unwrap_err();
+        assert_eq!(err.requested, 30);
+        assert_eq!(err.in_use, 80);
+        assert_eq!(err.capacity, 100);
+        assert!(err.to_string().contains("out of memory"));
+    }
+
+    #[test]
+    #[should_panic(expected = "already-freed")]
+    fn double_free_panics() {
+        let mut m = DeviceMemory::new(100);
+        let a = m.alloc(10).unwrap();
+        m.free(a);
+        m.free(a);
+    }
+
+    #[test]
+    fn reset_peak_window() {
+        let mut m = DeviceMemory::new(1000);
+        let a = m.alloc(800).unwrap();
+        m.free(a);
+        assert_eq!(m.peak(), 800);
+        m.reset_peak();
+        assert_eq!(m.peak(), 0);
+        let _b = m.alloc(100).unwrap();
+        assert_eq!(m.peak(), 100);
+    }
+
+    #[test]
+    fn headroom_tracks_usage() {
+        let mut m = DeviceMemory::new(256);
+        assert_eq!(m.headroom(), 256);
+        let _x = m.alloc(56).unwrap();
+        assert_eq!(m.headroom(), 200);
+    }
+}

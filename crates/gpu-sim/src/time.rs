@@ -1,0 +1,188 @@
+//! Simulated time: integer nanoseconds, so every run is bit-reproducible.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point (or span) on the simulated timeline, in nanoseconds.
+///
+/// All timeline arithmetic in the simulator is integer-based; bandwidths are
+/// expressed as bytes-per-microsecond so that `bytes → nanoseconds`
+/// conversions stay exact (`SimNanos::from_bytes`).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimNanos(pub u64);
+
+impl SimNanos {
+    /// ZERO.
+    pub const ZERO: SimNanos = SimNanos(0);
+
+    #[inline]
+    /// From nanos.
+    pub fn from_nanos(ns: u64) -> Self {
+        SimNanos(ns)
+    }
+
+    #[inline]
+    /// From micros.
+    pub fn from_micros(us: u64) -> Self {
+        SimNanos(us * 1_000)
+    }
+
+    #[inline]
+    /// From millis.
+    pub fn from_millis(ms: u64) -> Self {
+        SimNanos(ms * 1_000_000)
+    }
+
+    #[inline]
+    /// As nanos.
+    pub fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Span as fractional microseconds (for reporting only).
+    #[inline]
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 / 1e3
+    }
+
+    /// Span as fractional milliseconds (for reporting only).
+    #[inline]
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Time to move `bytes` at `bytes_per_us` bytes per microsecond, rounded
+    /// up to the next nanosecond (minimum 1 ns for any nonzero payload).
+    pub fn from_bytes(bytes: u64, bytes_per_us: u64) -> Self {
+        assert!(bytes_per_us > 0, "bandwidth must be positive");
+        if bytes == 0 {
+            return SimNanos::ZERO;
+        }
+        let ns = (bytes as u128 * 1_000).div_ceil(bytes_per_us as u128);
+        SimNanos(ns.max(1) as u64)
+    }
+
+    /// Time for `units` of work at `units_per_ns` throughput, rounded up.
+    pub fn from_units(units: u64, units_per_ns: u64) -> Self {
+        assert!(units_per_ns > 0, "throughput must be positive");
+        if units == 0 {
+            return SimNanos::ZERO;
+        }
+        SimNanos((units as u128).div_ceil(units_per_ns as u128).max(1) as u64)
+    }
+
+    #[inline]
+    /// Max.
+    pub fn max(self, other: Self) -> Self {
+        SimNanos(self.0.max(other.0))
+    }
+
+    #[inline]
+    /// Saturating sub.
+    pub fn saturating_sub(self, other: Self) -> Self {
+        SimNanos(self.0.saturating_sub(other.0))
+    }
+
+    /// Multiply a span by a rational factor `num/den`, rounding up.
+    pub fn scale(self, num: u64, den: u64) -> Self {
+        assert!(den > 0);
+        SimNanos(((self.0 as u128 * num as u128).div_ceil(den as u128)) as u64)
+    }
+}
+
+impl Add for SimNanos {
+    type Output = SimNanos;
+    #[inline]
+    fn add(self, rhs: SimNanos) -> SimNanos {
+        SimNanos(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimNanos {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimNanos) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimNanos {
+    type Output = SimNanos;
+    #[inline]
+    fn sub(self, rhs: SimNanos) -> SimNanos {
+        SimNanos(self.0 - rhs.0)
+    }
+}
+
+impl Sum for SimNanos {
+    fn sum<I: Iterator<Item = SimNanos>>(iter: I) -> SimNanos {
+        SimNanos(iter.map(|t| t.0).sum())
+    }
+}
+
+impl fmt::Debug for SimNanos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}ns", self.0)
+    }
+}
+
+impl fmt::Display for SimNanos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000 {
+            write!(f, "{:.3}ms", self.as_millis_f64())
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.3}us", self.as_micros_f64())
+        } else {
+            write!(f, "{}ns", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bytes_to_nanos_rounds_up() {
+        // 900_000 bytes/us == 900 GB/s. 900 bytes take exactly 1ns.
+        assert_eq!(SimNanos::from_bytes(900, 900_000), SimNanos(1));
+        assert_eq!(SimNanos::from_bytes(901, 900_000), SimNanos(2));
+        assert_eq!(SimNanos::from_bytes(0, 900_000), SimNanos::ZERO);
+        // nonzero payload always costs at least a nanosecond
+        assert_eq!(SimNanos::from_bytes(1, u64::MAX / 2000), SimNanos(1));
+    }
+
+    #[test]
+    fn units_to_nanos() {
+        assert_eq!(SimNanos::from_units(14_000, 14_000), SimNanos(1));
+        assert_eq!(SimNanos::from_units(14_001, 14_000), SimNanos(2));
+        assert_eq!(SimNanos::from_units(0, 14_000), SimNanos::ZERO);
+    }
+
+    #[test]
+    fn scale_rounds_up() {
+        assert_eq!(SimNanos(10).scale(3, 2), SimNanos(15));
+        assert_eq!(SimNanos(10).scale(1, 3), SimNanos(4));
+        assert_eq!(SimNanos(10).scale(1, 1), SimNanos(10));
+    }
+
+    #[test]
+    fn arithmetic_and_ordering() {
+        let a = SimNanos::from_micros(2);
+        let b = SimNanos::from_nanos(500);
+        assert_eq!(a + b, SimNanos(2_500));
+        assert_eq!(a - b, SimNanos(1_500));
+        assert_eq!(b.saturating_sub(a), SimNanos::ZERO);
+        assert!(a > b);
+        assert_eq!(a.max(b), a);
+        let total: SimNanos = [a, b, b].into_iter().sum();
+        assert_eq!(total, SimNanos(3_000));
+    }
+
+    #[test]
+    fn display_units() {
+        assert_eq!(format!("{}", SimNanos(12)), "12ns");
+        assert_eq!(format!("{}", SimNanos(1_500)), "1.500us");
+        assert_eq!(format!("{}", SimNanos(2_500_000)), "2.500ms");
+    }
+}

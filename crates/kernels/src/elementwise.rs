@@ -1,0 +1,512 @@
+//! Pointwise and reshaping device kernels: activations, arithmetic,
+//! degree normalization, concat/split, and the MSE loss pair.
+//!
+//! All of these are bandwidth-bound streaming kernels: `reads + writes`
+//! bytes at full warp efficiency, uniformly distributed across blocks.
+
+use crate::device_data::DeviceMatrix;
+use pipad_gpu_sim::{Gpu, KernelCategory, KernelCost, OomError, StreamId};
+use pipad_tensor::Matrix;
+
+/// Elements processed per thread block in the cost model.
+const ELEMS_PER_BLOCK: u64 = 4096;
+
+fn streaming_cost(
+    name: &'static str,
+    category: KernelCategory,
+    elems_read: u64,
+    elems_written: u64,
+    flops_per_elem: u64,
+) -> KernelCost {
+    let bytes = 4 * (elems_read + elems_written);
+    let blocks = elems_written.max(1).div_ceil(ELEMS_PER_BLOCK).max(1);
+    KernelCost::new(name, category)
+        .flops(elems_written * flops_per_elem)
+        .gmem(bytes.div_ceil(128), bytes.div_ceil(32))
+        .uniform_blocks(blocks as usize, ELEMS_PER_BLOCK)
+}
+
+fn unary(
+    gpu: &mut Gpu,
+    stream: StreamId,
+    name: &'static str,
+    category: KernelCategory,
+    x: &DeviceMatrix,
+    flops: u64,
+    f: impl Fn(f32) -> f32,
+) -> Result<DeviceMatrix, OomError> {
+    let n = x.host().len() as u64;
+    gpu.launch(stream, streaming_cost(name, category, n, n, flops));
+    DeviceMatrix::alloc(gpu, x.host().map(f))
+}
+
+fn binary(
+    gpu: &mut Gpu,
+    stream: StreamId,
+    name: &'static str,
+    category: KernelCategory,
+    a: &DeviceMatrix,
+    b: &DeviceMatrix,
+    f: impl Fn(f32, f32) -> f32,
+) -> Result<DeviceMatrix, OomError> {
+    let n = a.host().len() as u64;
+    gpu.launch(stream, streaming_cost(name, category, 2 * n, n, 1));
+    DeviceMatrix::alloc(gpu, a.host().zip(b.host(), f))
+}
+
+/// `a + b`.
+pub fn add(
+    gpu: &mut Gpu,
+    stream: StreamId,
+    a: &DeviceMatrix,
+    b: &DeviceMatrix,
+    category: KernelCategory,
+) -> Result<DeviceMatrix, OomError> {
+    binary(gpu, stream, "add", category, a, b, |x, y| x + y)
+}
+
+/// `a - b`.
+pub fn sub(
+    gpu: &mut Gpu,
+    stream: StreamId,
+    a: &DeviceMatrix,
+    b: &DeviceMatrix,
+    category: KernelCategory,
+) -> Result<DeviceMatrix, OomError> {
+    binary(gpu, stream, "sub", category, a, b, |x, y| x - y)
+}
+
+/// Elementwise product.
+pub fn hadamard(
+    gpu: &mut Gpu,
+    stream: StreamId,
+    a: &DeviceMatrix,
+    b: &DeviceMatrix,
+    category: KernelCategory,
+) -> Result<DeviceMatrix, OomError> {
+    binary(gpu, stream, "hadamard", category, a, b, |x, y| x * y)
+}
+
+/// `a * s` for a scalar.
+pub fn scale(
+    gpu: &mut Gpu,
+    stream: StreamId,
+    a: &DeviceMatrix,
+    s: f32,
+    category: KernelCategory,
+) -> Result<DeviceMatrix, OomError> {
+    unary(gpu, stream, "scale", category, a, 1, |x| x * s)
+}
+
+/// Broadcast a `1 × n` bias row onto every row of `a`.
+pub fn add_bias(
+    gpu: &mut Gpu,
+    stream: StreamId,
+    a: &DeviceMatrix,
+    bias: &DeviceMatrix,
+    category: KernelCategory,
+) -> Result<DeviceMatrix, OomError> {
+    assert_eq!(bias.rows(), 1, "bias must be a row vector");
+    assert_eq!(bias.cols(), a.cols(), "bias width mismatch");
+    let n = a.host().len() as u64;
+    gpu.launch(
+        stream,
+        streaming_cost("add_bias", category, n + bias.cols() as u64, n, 1),
+    );
+    let out = Matrix::from_fn(a.rows(), a.cols(), |r, c| {
+        a.host()[(r, c)] + bias.host()[(0, c)]
+    });
+    DeviceMatrix::alloc(gpu, out)
+}
+
+/// Logistic sigmoid.
+pub fn sigmoid(
+    gpu: &mut Gpu,
+    stream: StreamId,
+    x: &DeviceMatrix,
+    category: KernelCategory,
+) -> Result<DeviceMatrix, OomError> {
+    unary(gpu, stream, "sigmoid", category, x, 4, |v| {
+        1.0 / (1.0 + (-v).exp())
+    })
+}
+
+/// Hyperbolic tangent.
+pub fn tanh_act(
+    gpu: &mut Gpu,
+    stream: StreamId,
+    x: &DeviceMatrix,
+    category: KernelCategory,
+) -> Result<DeviceMatrix, OomError> {
+    unary(gpu, stream, "tanh", category, x, 4, f32::tanh)
+}
+
+/// ReLU.
+pub fn relu(
+    gpu: &mut Gpu,
+    stream: StreamId,
+    x: &DeviceMatrix,
+    category: KernelCategory,
+) -> Result<DeviceMatrix, OomError> {
+    unary(gpu, stream, "relu", category, x, 1, |v| v.max(0.0))
+}
+
+/// Backward helper: gradient mask of ReLU given its *input*.
+pub fn relu_grad_mask(
+    gpu: &mut Gpu,
+    stream: StreamId,
+    x: &DeviceMatrix,
+    upstream: &DeviceMatrix,
+    category: KernelCategory,
+) -> Result<DeviceMatrix, OomError> {
+    binary(gpu, stream, "relu_grad", category, x, upstream, |v, g| {
+        if v > 0.0 {
+            g
+        } else {
+            0.0
+        }
+    })
+}
+
+/// Backward helper: `g · σ(x) · (1 − σ(x))` given the forward *output*.
+pub fn sigmoid_grad_from_out(
+    gpu: &mut Gpu,
+    stream: StreamId,
+    out: &DeviceMatrix,
+    upstream: &DeviceMatrix,
+    category: KernelCategory,
+) -> Result<DeviceMatrix, OomError> {
+    binary(gpu, stream, "sigmoid_grad", category, out, upstream, |y, g| {
+        g * y * (1.0 - y)
+    })
+}
+
+/// Backward helper: `g · (1 − tanh(x)²)` given the forward *output*.
+pub fn tanh_grad_from_out(
+    gpu: &mut Gpu,
+    stream: StreamId,
+    out: &DeviceMatrix,
+    upstream: &DeviceMatrix,
+    category: KernelCategory,
+) -> Result<DeviceMatrix, OomError> {
+    binary(gpu, stream, "tanh_grad", category, out, upstream, |y, g| {
+        g * (1.0 - y * y)
+    })
+}
+
+/// Degree normalization: scale row `r` of `x` by `factors[r]` — the mean
+/// step of GCN aggregation, split out of SpMM so snapshots that share
+/// topology can share one aggregation launch.
+pub fn row_scale(
+    gpu: &mut Gpu,
+    stream: StreamId,
+    x: &DeviceMatrix,
+    factors: &[f32],
+    category: KernelCategory,
+) -> Result<DeviceMatrix, OomError> {
+    assert_eq!(factors.len(), x.rows(), "one factor per row");
+    let n = x.host().len() as u64;
+    gpu.launch(
+        stream,
+        streaming_cost("row_scale", category, n + x.rows() as u64, n, 1),
+    );
+    let out = Matrix::from_fn(x.rows(), x.cols(), |r, c| x.host()[(r, c)] * factors[r]);
+    DeviceMatrix::alloc(gpu, out)
+}
+
+/// Concatenate matrices column-wise (builds PiPAD's coalescent features).
+///
+/// **View semantics**: no kernel is launched and no traffic is charged —
+/// on the real device the consuming kernel's thread mapping reads the
+/// member matrices interleaved (the paper's slice-group layout); charging
+/// a separate packing pass would double-count the bytes the consumer
+/// already pays for. Only the result's device allocation is accounted.
+pub fn concat_cols(
+    gpu: &mut Gpu,
+    stream: StreamId,
+    parts: &[&DeviceMatrix],
+    category: KernelCategory,
+) -> Result<DeviceMatrix, OomError> {
+    let _ = (stream, category);
+    let mats: Vec<&Matrix> = parts.iter().map(|p| p.host()).collect();
+    DeviceMatrix::alloc(gpu, Matrix::concat_cols(&mats))
+}
+
+/// Split a coalescent matrix back into `n_parts` equal-width matrices
+/// (view semantics — see [`concat_cols`]).
+pub fn split_cols(
+    gpu: &mut Gpu,
+    stream: StreamId,
+    x: &DeviceMatrix,
+    n_parts: usize,
+    category: KernelCategory,
+) -> Result<Vec<DeviceMatrix>, OomError> {
+    let _ = (stream, category);
+    x.host()
+        .split_cols(n_parts)
+        .into_iter()
+        .map(|m| DeviceMatrix::alloc(gpu, m))
+        .collect()
+}
+
+/// Per-member degree normalization over a coalescent matrix: member `k`'s
+/// column block (width `cols / factors.len()`) has row `r` scaled by
+/// `factors[k][r]`. One streaming pass — the normalization epilogue of the
+/// partition aggregation.
+pub fn row_scale_multi(
+    gpu: &mut Gpu,
+    stream: StreamId,
+    x: &DeviceMatrix,
+    factors: &[std::rc::Rc<Vec<f32>>],
+    category: KernelCategory,
+) -> Result<DeviceMatrix, OomError> {
+    assert!(!factors.is_empty());
+    assert_eq!(x.cols() % factors.len(), 0, "uneven member widths");
+    let width = x.cols() / factors.len();
+    for f in factors {
+        assert_eq!(f.len(), x.rows(), "one factor per row per member");
+    }
+    let n = x.host().len() as u64;
+    gpu.launch(
+        stream,
+        streaming_cost(
+            "row_scale_multi",
+            category,
+            n + (x.rows() * factors.len()) as u64,
+            n,
+            1,
+        ),
+    );
+    let out = Matrix::from_fn(x.rows(), x.cols(), |r, c| {
+        x.host()[(r, c)] * factors[c / width][r]
+    });
+    DeviceMatrix::alloc(gpu, out)
+}
+
+/// Concatenate matrices row-wise (stacks a partition's features so one
+/// weight-resident GEMM can serve every snapshot).
+pub fn concat_rows(
+    gpu: &mut Gpu,
+    stream: StreamId,
+    parts: &[&DeviceMatrix],
+    category: KernelCategory,
+) -> Result<DeviceMatrix, OomError> {
+    let _ = (stream, category);
+    let mats: Vec<&Matrix> = parts.iter().map(|p| p.host()).collect();
+    DeviceMatrix::alloc(gpu, Matrix::concat_rows(&mats))
+}
+
+/// Row range copy `[from, to)`.
+pub fn slice_rows(
+    gpu: &mut Gpu,
+    stream: StreamId,
+    x: &DeviceMatrix,
+    from: usize,
+    to: usize,
+    category: KernelCategory,
+) -> Result<DeviceMatrix, OomError> {
+    let _ = (stream, category);
+    DeviceMatrix::alloc(gpu, x.host().slice_rows(from, to))
+}
+
+/// SGD parameter step: `param ← param − lr · grad`, in place.
+pub fn sgd_step(
+    gpu: &mut Gpu,
+    stream: StreamId,
+    param: &mut DeviceMatrix,
+    grad: &Matrix,
+    lr: f32,
+) {
+    assert_eq!(param.host().shape(), grad.shape(), "sgd shape mismatch");
+    let n = param.host().len() as u64;
+    gpu.launch(
+        stream,
+        streaming_cost("sgd_step", KernelCategory::Optimizer, 2 * n, n, 2),
+    );
+    let updated = param.host().zip(grad, |w, g| w - lr * g);
+    param.store(updated);
+}
+
+/// Column range copy `[from, to)` (view semantics — see [`concat_cols`]).
+pub fn slice_cols(
+    gpu: &mut Gpu,
+    stream: StreamId,
+    x: &DeviceMatrix,
+    from: usize,
+    to: usize,
+    category: KernelCategory,
+) -> Result<DeviceMatrix, OomError> {
+    let _ = (stream, category);
+    DeviceMatrix::alloc(gpu, x.host().slice_cols(from, to))
+}
+
+/// Column-wise sum reduction into a `1 × cols` row vector — the bias
+/// gradient (`Σ_rows dY`).
+pub fn col_sums(
+    gpu: &mut Gpu,
+    stream: StreamId,
+    x: &DeviceMatrix,
+    category: KernelCategory,
+) -> Result<DeviceMatrix, OomError> {
+    let n = x.host().len() as u64;
+    gpu.launch(
+        stream,
+        streaming_cost("col_sums", category, n, x.cols() as u64, 1),
+    );
+    let sums = x.host().col_sums();
+    DeviceMatrix::alloc(gpu, Matrix::from_vec(1, sums.len(), sums))
+}
+
+/// Mean-squared-error loss (scalar) between prediction and target.
+pub fn mse_loss(gpu: &mut Gpu, stream: StreamId, pred: &DeviceMatrix, target: &Matrix) -> f32 {
+    assert_eq!(pred.host().shape(), target.shape());
+    let n = pred.host().len() as u64;
+    gpu.launch(
+        stream,
+        streaming_cost("mse_loss", KernelCategory::Loss, 2 * n, 1, 3),
+    );
+    let diff = pred.host().zip(target, |a, b| a - b);
+    diff.norm_sq() / n.max(1) as f32
+}
+
+/// Gradient of [`mse_loss`] w.r.t. the prediction: `2 (pred − target) / n`.
+pub fn mse_grad(
+    gpu: &mut Gpu,
+    stream: StreamId,
+    pred: &DeviceMatrix,
+    target: &Matrix,
+) -> Result<DeviceMatrix, OomError> {
+    let n = pred.host().len() as u64;
+    gpu.launch(
+        stream,
+        streaming_cost("mse_grad", KernelCategory::Loss, 2 * n, n, 2),
+    );
+    let g = pred
+        .host()
+        .zip(target, |a, b| 2.0 * (a - b) / n.max(1) as f32);
+    DeviceMatrix::alloc(gpu, g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transfer::upload_matrix;
+    use pipad_gpu_sim::DeviceConfig;
+
+    fn setup() -> (Gpu, StreamId) {
+        let g = Gpu::new(DeviceConfig::v100());
+        let s = g.default_stream();
+        (g, s)
+    }
+
+    fn dev(gpu: &mut Gpu, s: StreamId, m: Matrix) -> DeviceMatrix {
+        upload_matrix(gpu, s, &m, true).unwrap()
+    }
+
+    #[test]
+    fn arithmetic_ops() {
+        let (mut g, s) = setup();
+        let a = dev(&mut g, s, Matrix::full(2, 2, 3.0));
+        let b = dev(&mut g, s, Matrix::full(2, 2, 2.0));
+        assert_eq!(
+            add(&mut g, s, &a, &b, KernelCategory::Elementwise)
+                .unwrap()
+                .host()
+                .sum(),
+            20.0
+        );
+        assert_eq!(
+            sub(&mut g, s, &a, &b, KernelCategory::Elementwise)
+                .unwrap()
+                .host()
+                .sum(),
+            4.0
+        );
+        assert_eq!(
+            hadamard(&mut g, s, &a, &b, KernelCategory::Elementwise)
+                .unwrap()
+                .host()
+                .sum(),
+            24.0
+        );
+        assert_eq!(
+            scale(&mut g, s, &a, 0.5, KernelCategory::Elementwise)
+                .unwrap()
+                .host()
+                .sum(),
+            6.0
+        );
+    }
+
+    #[test]
+    fn activations_and_grads() {
+        let (mut g, s) = setup();
+        let x = dev(&mut g, s, Matrix::from_vec(1, 3, vec![-1.0, 0.0, 2.0]));
+        let r = relu(&mut g, s, &x, KernelCategory::Elementwise).unwrap();
+        assert_eq!(r.host().as_slice(), &[0.0, 0.0, 2.0]);
+
+        let sg = sigmoid(&mut g, s, &x, KernelCategory::Rnn).unwrap();
+        assert!((sg.host()[(0, 1)] - 0.5).abs() < 1e-6);
+
+        let th = tanh_act(&mut g, s, &x, KernelCategory::Rnn).unwrap();
+        assert!((th.host()[(0, 2)] - 2.0f32.tanh()).abs() < 1e-6);
+
+        let ones = dev(&mut g, s, Matrix::full(1, 3, 1.0));
+        let rg = relu_grad_mask(&mut g, s, &x, &ones, KernelCategory::Elementwise).unwrap();
+        assert_eq!(rg.host().as_slice(), &[0.0, 0.0, 1.0]);
+
+        // σ'(0) = 0.25, tanh'(0) = 1
+        let sgg = sigmoid_grad_from_out(&mut g, s, &sg, &ones, KernelCategory::Rnn).unwrap();
+        assert!((sgg.host()[(0, 1)] - 0.25).abs() < 1e-6);
+        let thg = tanh_grad_from_out(&mut g, s, &th, &ones, KernelCategory::Rnn).unwrap();
+        assert!((thg.host()[(0, 1)] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bias_and_row_scale() {
+        let (mut g, s) = setup();
+        let x = dev(&mut g, s, Matrix::full(3, 2, 1.0));
+        let b = dev(&mut g, s, Matrix::from_vec(1, 2, vec![10.0, 20.0]));
+        let y = add_bias(&mut g, s, &x, &b, KernelCategory::Update).unwrap();
+        assert_eq!(y.host()[(2, 1)], 21.0);
+
+        let z = row_scale(&mut g, s, &x, &[1.0, 2.0, 3.0], KernelCategory::Aggregation).unwrap();
+        assert_eq!(z.host().row(2), &[3.0, 3.0]);
+    }
+
+    #[test]
+    fn concat_split_round_trip() {
+        let (mut g, s) = setup();
+        let a = dev(&mut g, s, Matrix::full(2, 2, 1.0));
+        let b = dev(&mut g, s, Matrix::full(2, 2, 2.0));
+        let cat = concat_cols(&mut g, s, &[&a, &b], KernelCategory::Elementwise).unwrap();
+        assert_eq!(cat.host().shape(), (2, 4));
+        let parts = split_cols(&mut g, s, &cat, 2, KernelCategory::Elementwise).unwrap();
+        assert_eq!(parts[0].host(), a.host());
+        assert_eq!(parts[1].host(), b.host());
+        let sl = slice_cols(&mut g, s, &cat, 1, 3, KernelCategory::Elementwise).unwrap();
+        assert_eq!(sl.host().row(0), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn mse_pair_is_consistent() {
+        let (mut g, s) = setup();
+        let pred = dev(&mut g, s, Matrix::from_vec(1, 2, vec![1.0, 3.0]));
+        let target = Matrix::from_vec(1, 2, vec![0.0, 1.0]);
+        let loss = mse_loss(&mut g, s, &pred, &target);
+        assert!((loss - 2.5).abs() < 1e-6); // (1 + 4) / 2
+        let grad = mse_grad(&mut g, s, &pred, &target).unwrap();
+        assert_eq!(grad.host().as_slice(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn kernels_account_cost() {
+        let (mut g, s) = setup();
+        let a = dev(&mut g, s, Matrix::full(64, 64, 1.0));
+        let snap = g.profiler().snapshot();
+        relu(&mut g, s, &a, KernelCategory::Elementwise).unwrap();
+        let w = g.profiler().window(snap);
+        assert_eq!(w.kernel_launches, 1);
+        assert!(w.gmem_transactions >= 2 * 64 * 64 * 4 / 32);
+    }
+}

@@ -1,0 +1,207 @@
+//! Dense GEMM device kernels, including PiPAD's locality-optimized weight
+//! reuse for the parallel update phase (§4.2).
+
+use crate::device_data::DeviceMatrix;
+use pipad_gpu_sim::{Gpu, KernelCategory, KernelCost, OomError, StreamId};
+use pipad_tensor::{gemm, gemm_nt, gemm_tn};
+
+/// Tile edge assumed by the cost model (32×32 output tiles, k-striped).
+const TILE: u64 = 32;
+
+fn gemm_cost(
+    name: &'static str,
+    category: KernelCategory,
+    m: u64,
+    k: u64,
+    n: u64,
+    weight_loads: u64,
+) -> KernelCost {
+    // Tiled GEMM: A re-read once per output column tile; B (the weight)
+    // re-read `weight_loads` times in total (1 after reuse, per-row-tile
+    // otherwise). Output written once.
+    let a_elems = m * k * n.div_ceil(TILE).max(1);
+    let b_elems = k * n * weight_loads;
+    let out_elems = m * n;
+    let bytes = 4 * (a_elems + b_elems + out_elems);
+    let transactions = bytes.div_ceil(32);
+    let requests = bytes.div_ceil(128);
+    let blocks = (m.div_ceil(TILE) * n.div_ceil(TILE)).max(1);
+    KernelCost::new(name, category)
+        .flops(2 * m * k * n)
+        .gmem(requests, transactions)
+        .smem(2 * a_elems.min(b_elems.max(1)))
+        .uniform_blocks(blocks as usize, k.max(1))
+}
+
+/// `C = A × B` on the device. `category` lets callers bill the launch to
+/// the right breakdown bucket (Update for FC layers, Rnn for gate GEMMs).
+pub fn gemm_device(
+    gpu: &mut Gpu,
+    stream: StreamId,
+    a: &DeviceMatrix,
+    b: &DeviceMatrix,
+    category: KernelCategory,
+) -> Result<DeviceMatrix, OomError> {
+    let (m, k) = (a.rows() as u64, a.cols() as u64);
+    let n = b.cols() as u64;
+    let cost = gemm_cost("gemm", category, m, k, n, m.div_ceil(TILE).max(1));
+    gpu.launch(stream, cost);
+    DeviceMatrix::alloc(gpu, gemm(a.host(), b.host()))
+}
+
+/// `C = Aᵀ × B` (weight gradients in backward).
+pub fn gemm_tn_device(
+    gpu: &mut Gpu,
+    stream: StreamId,
+    a: &DeviceMatrix,
+    b: &DeviceMatrix,
+    category: KernelCategory,
+) -> Result<DeviceMatrix, OomError> {
+    let (k, m) = (a.rows() as u64, a.cols() as u64);
+    let n = b.cols() as u64;
+    let cost = gemm_cost("gemm_tn", category, m, k, n, m.div_ceil(TILE).max(1));
+    gpu.launch(stream, cost);
+    DeviceMatrix::alloc(gpu, gemm_tn(a.host(), b.host()))
+}
+
+/// `C = A × Bᵀ` (input gradients in backward).
+pub fn gemm_nt_device(
+    gpu: &mut Gpu,
+    stream: StreamId,
+    a: &DeviceMatrix,
+    b: &DeviceMatrix,
+    category: KernelCategory,
+) -> Result<DeviceMatrix, OomError> {
+    let (m, k) = (a.rows() as u64, a.cols() as u64);
+    let n = b.rows() as u64;
+    let cost = gemm_cost("gemm_nt", category, m, k, n, m.div_ceil(TILE).max(1));
+    gpu.launch(stream, cost);
+    DeviceMatrix::alloc(gpu, gemm_nt(a.host(), b.host()))
+}
+
+/// `C = A × B` with the weight `B` kept resident in shared memory across
+/// all of `A`'s row tiles — the cost shape of the stacked weight-reuse
+/// update (one launch for a whole partition's vertically stacked features).
+pub fn gemm_device_weight_resident(
+    gpu: &mut Gpu,
+    stream: StreamId,
+    a: &DeviceMatrix,
+    b: &DeviceMatrix,
+    category: KernelCategory,
+) -> Result<DeviceMatrix, OomError> {
+    let (m, k) = (a.rows() as u64, a.cols() as u64);
+    let n = b.cols() as u64;
+    let cost = gemm_cost("gemm_weight_resident", category, m, k, n, 1);
+    gpu.launch(stream, cost);
+    DeviceMatrix::alloc(gpu, gemm(a.host(), b.host()))
+}
+
+/// Locality-optimized weight reuse (§4.2): one fused launch computes
+/// `X_i × W` for every snapshot of a partition while each weight tile stays
+/// resident in shared memory across snapshots — the weight's global-memory
+/// traffic is paid once instead of once per snapshot.
+///
+/// Not applicable to EvolveGCN, whose weights evolve along the timeline.
+pub fn gemm_weight_reuse(
+    gpu: &mut Gpu,
+    stream: StreamId,
+    xs: &[&DeviceMatrix],
+    w: &DeviceMatrix,
+) -> Result<Vec<DeviceMatrix>, OomError> {
+    assert!(!xs.is_empty(), "weight reuse over an empty partition");
+    let k = w.rows() as u64;
+    let n = w.cols() as u64;
+    let m_total: u64 = xs.iter().map(|x| x.rows() as u64).sum();
+    // Weight loaded once (weight_loads = 1) for the whole partition.
+    let cost = gemm_cost("gemm_weight_reuse", KernelCategory::Update, m_total, k, n, 1);
+    gpu.launch(stream, cost);
+    xs.iter()
+        .map(|x| DeviceMatrix::alloc(gpu, gemm(x.host(), w.host())))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transfer::upload_matrix;
+    use pipad_gpu_sim::DeviceConfig;
+    use pipad_tensor::{seeded_rng, uniform, Matrix};
+
+    fn gpu() -> Gpu {
+        Gpu::new(DeviceConfig::v100())
+    }
+
+    #[test]
+    fn gemm_variants_match_reference() {
+        let mut g = gpu();
+        let s = g.default_stream();
+        let a = uniform(&mut seeded_rng(1), 9, 5, 1.0);
+        let b = uniform(&mut seeded_rng(2), 5, 7, 1.0);
+        let da = upload_matrix(&mut g, s, &a, true).unwrap();
+        let db = upload_matrix(&mut g, s, &b, true).unwrap();
+        let c = gemm_device(&mut g, s, &da, &db, KernelCategory::Update).unwrap();
+        assert!(c.host().approx_eq(&gemm(&a, &b), 1e-4));
+
+        let at = upload_matrix(&mut g, s, &a.transpose(), true).unwrap();
+        let c2 = gemm_tn_device(&mut g, s, &at, &db, KernelCategory::Update).unwrap();
+        assert!(c2.host().approx_eq(&gemm(&a, &b), 1e-4));
+
+        let bt = upload_matrix(&mut g, s, &b.transpose(), true).unwrap();
+        let c3 = gemm_nt_device(&mut g, s, &da, &bt, KernelCategory::Update).unwrap();
+        assert!(c3.host().approx_eq(&gemm(&a, &b), 1e-4));
+    }
+
+    #[test]
+    fn weight_reuse_matches_separate_gemms() {
+        let mut g = gpu();
+        let s = g.default_stream();
+        let w = uniform(&mut seeded_rng(3), 6, 4, 1.0);
+        let dw = upload_matrix(&mut g, s, &w, true).unwrap();
+        let xs: Vec<Matrix> = (0..3)
+            .map(|i| uniform(&mut seeded_rng(10 + i), 20, 6, 1.0))
+            .collect();
+        let dxs: Vec<DeviceMatrix> = xs
+            .iter()
+            .map(|x| upload_matrix(&mut g, s, x, true).unwrap())
+            .collect();
+        let refs: Vec<&DeviceMatrix> = dxs.iter().collect();
+        let ys = gemm_weight_reuse(&mut g, s, &refs, &dw).unwrap();
+        for (y, x) in ys.iter().zip(&xs) {
+            assert!(y.host().approx_eq(&gemm(x, &w), 1e-4));
+        }
+    }
+
+    #[test]
+    fn weight_reuse_moves_fewer_weight_bytes() {
+        let mut g1 = gpu();
+        let s1 = g1.default_stream();
+        let w = uniform(&mut seeded_rng(4), 32, 32, 1.0);
+        let xs: Vec<Matrix> = (0..8)
+            .map(|i| uniform(&mut seeded_rng(20 + i), 64, 32, 1.0))
+            .collect();
+
+        // Baseline: one GEMM per snapshot (weight re-read every time).
+        let dw1 = upload_matrix(&mut g1, s1, &w, true).unwrap();
+        for x in &xs {
+            let dx = upload_matrix(&mut g1, s1, x, true).unwrap();
+            gemm_device(&mut g1, s1, &dx, &dw1, KernelCategory::Update).unwrap();
+        }
+        let base = g1.profiler().full();
+
+        let mut g2 = gpu();
+        let s2 = g2.default_stream();
+        let dw2 = upload_matrix(&mut g2, s2, &w, true).unwrap();
+        let dxs: Vec<DeviceMatrix> = xs
+            .iter()
+            .map(|x| upload_matrix(&mut g2, s2, x, true).unwrap())
+            .collect();
+        let refs: Vec<&DeviceMatrix> = dxs.iter().collect();
+        gemm_weight_reuse(&mut g2, s2, &refs, &dw2).unwrap();
+        let fused = g2.profiler().full();
+
+        assert!(fused.gmem_transactions < base.gmem_transactions);
+        assert_eq!(fused.kernel_launches, 1);
+        assert_eq!(base.kernel_launches, 8);
+        assert!(fused.compute_total < base.compute_total);
+    }
+}

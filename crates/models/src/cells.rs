@@ -1,0 +1,245 @@
+//! Recurrent cells (LSTM [14], GRU [6]) over matrix "batches" of vertex
+//! rows, billed to the RNN category of the Figure 4 breakdown.
+
+use crate::params::{Binder, Param};
+use pipad_autograd::{Tape, Var};
+use pipad_gpu_sim::{Gpu, KernelCategory, OomError};
+use rand::rngs::StdRng;
+
+const RNN: KernelCategory = KernelCategory::Rnn;
+
+/// Standard LSTM cell with fused gate weights: `wx (d × 4h)`, `wh (h × 4h)`,
+/// `b (1 × 4h)`; gate order `[i, f, g, o]`.
+pub struct LstmCell {
+    /// Input-to-gates weight (`input × gates·hidden`).
+    pub wx: Param,
+    /// Hidden-to-gates weight (`hidden × gates·hidden`).
+    pub wh: Param,
+    /// Fused gate bias (`1 × gates·hidden`).
+    pub b: Param,
+    /// Hidden dimension.
+    pub hidden: usize,
+}
+
+impl LstmCell {
+    /// Create a new instance.
+    pub fn new(
+        gpu: &mut Gpu,
+        rng: &mut StdRng,
+        name: &str,
+        input: usize,
+        hidden: usize,
+    ) -> Result<Self, OomError> {
+        Ok(LstmCell {
+            wx: Param::glorot(gpu, rng, format!("{name}.wx"), input, 4 * hidden)?,
+            wh: Param::glorot(gpu, rng, format!("{name}.wh"), hidden, 4 * hidden)?,
+            b: Param::zeros_bias(gpu, format!("{name}.b"), 4 * hidden)?,
+            hidden,
+        })
+    }
+
+    /// One step: `(h', c') = lstm(x, h, c)`.
+    pub fn step(
+        &self,
+        gpu: &mut Gpu,
+        tape: &mut Tape,
+        binder: &mut Binder,
+        x: Var,
+        h: Var,
+        c: Var,
+    ) -> Result<(Var, Var), OomError> {
+        let hd = self.hidden;
+        let wx = binder.bind(tape, &self.wx);
+        let wh = binder.bind(tape, &self.wh);
+        let b = binder.bind(tape, &self.b);
+        let gx = tape.matmul(gpu, x, wx, RNN)?;
+        let gh = tape.matmul(gpu, h, wh, RNN)?;
+        let gsum = tape.add(gpu, gx, gh, RNN)?;
+        let gates = tape.add_bias(gpu, gsum, b, RNN)?;
+        let i = tape.slice_cols(gpu, gates, 0, hd, RNN)?;
+        let f = tape.slice_cols(gpu, gates, hd, 2 * hd, RNN)?;
+        let g = tape.slice_cols(gpu, gates, 2 * hd, 3 * hd, RNN)?;
+        let o = tape.slice_cols(gpu, gates, 3 * hd, 4 * hd, RNN)?;
+        let i = tape.sigmoid(gpu, i, RNN)?;
+        let f = tape.sigmoid(gpu, f, RNN)?;
+        let g = tape.tanh(gpu, g, RNN)?;
+        let o = tape.sigmoid(gpu, o, RNN)?;
+        let fc = tape.hadamard(gpu, f, c, RNN)?;
+        let ig = tape.hadamard(gpu, i, g, RNN)?;
+        let c2 = tape.add(gpu, fc, ig, RNN)?;
+        let tc = tape.tanh(gpu, c2, RNN)?;
+        let h2 = tape.hadamard(gpu, o, tc, RNN)?;
+        Ok((h2, c2))
+    }
+
+    /// The trainable parameters of this component.
+    pub fn params(&self) -> Vec<&Param> {
+        vec![&self.wx, &self.wh, &self.b]
+    }
+}
+
+/// Standard GRU cell: `wx (d × 3h)`, `wh (h × 3h)`, `b (1 × 3h)`; gate
+/// order `[r, z, n]`, candidate uses `r ⊙ (h @ Whn)`.
+pub struct GruCell {
+    /// Input-to-gates weight (`input × gates·hidden`).
+    pub wx: Param,
+    /// Hidden-to-gates weight (`hidden × gates·hidden`).
+    pub wh: Param,
+    /// Fused gate bias (`1 × gates·hidden`).
+    pub b: Param,
+    /// Hidden dimension.
+    pub hidden: usize,
+}
+
+impl GruCell {
+    /// Create a new instance.
+    pub fn new(
+        gpu: &mut Gpu,
+        rng: &mut StdRng,
+        name: &str,
+        input: usize,
+        hidden: usize,
+    ) -> Result<Self, OomError> {
+        Ok(GruCell {
+            wx: Param::glorot(gpu, rng, format!("{name}.wx"), input, 3 * hidden)?,
+            wh: Param::glorot(gpu, rng, format!("{name}.wh"), hidden, 3 * hidden)?,
+            b: Param::zeros_bias(gpu, format!("{name}.b"), 3 * hidden)?,
+            hidden,
+        })
+    }
+
+    /// One step: `h' = gru(x, h)`.
+    pub fn step(
+        &self,
+        gpu: &mut Gpu,
+        tape: &mut Tape,
+        binder: &mut Binder,
+        x: Var,
+        h: Var,
+    ) -> Result<Var, OomError> {
+        let hd = self.hidden;
+        let wx = binder.bind(tape, &self.wx);
+        let wh = binder.bind(tape, &self.wh);
+        let b = binder.bind(tape, &self.b);
+        let gx0 = tape.matmul(gpu, x, wx, RNN)?;
+        let gx = tape.add_bias(gpu, gx0, b, RNN)?;
+        let gh = tape.matmul(gpu, h, wh, RNN)?;
+        let rx = tape.slice_cols(gpu, gx, 0, hd, RNN)?;
+        let rh = tape.slice_cols(gpu, gh, 0, hd, RNN)?;
+        let rsum = tape.add(gpu, rx, rh, RNN)?;
+        let r = tape.sigmoid(gpu, rsum, RNN)?;
+        let zx = tape.slice_cols(gpu, gx, hd, 2 * hd, RNN)?;
+        let zh = tape.slice_cols(gpu, gh, hd, 2 * hd, RNN)?;
+        let zsum = tape.add(gpu, zx, zh, RNN)?;
+        let z = tape.sigmoid(gpu, zsum, RNN)?;
+        let nx = tape.slice_cols(gpu, gx, 2 * hd, 3 * hd, RNN)?;
+        let nh = tape.slice_cols(gpu, gh, 2 * hd, 3 * hd, RNN)?;
+        let rnh = tape.hadamard(gpu, r, nh, RNN)?;
+        let nsum = tape.add(gpu, nx, rnh, RNN)?;
+        let n = tape.tanh(gpu, nsum, RNN)?;
+        // h' = (1 − z) ⊙ n + z ⊙ h
+        let omz = tape.affine_const(gpu, z, -1.0, 1.0, RNN)?;
+        let a = tape.hadamard(gpu, omz, n, RNN)?;
+        let bterm = tape.hadamard(gpu, z, h, RNN)?;
+        tape.add(gpu, a, bterm, RNN)
+    }
+
+    /// The trainable parameters of this component.
+    pub fn params(&self) -> Vec<&Param> {
+        vec![&self.wx, &self.wh, &self.b]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pipad_gpu_sim::DeviceConfig;
+    use pipad_kernels::DeviceMatrix;
+    use pipad_tensor::{seeded_rng, uniform, Matrix};
+
+    fn setup() -> (Gpu, pipad_gpu_sim::StreamId) {
+        let g = Gpu::new(DeviceConfig::v100());
+        let s = g.default_stream();
+        (g, s)
+    }
+
+    #[test]
+    fn lstm_step_shapes_and_bounds() {
+        let (mut gpu, s) = setup();
+        let mut rng = seeded_rng(1);
+        let cell = LstmCell::new(&mut gpu, &mut rng, "lstm", 4, 3).unwrap();
+        let mut tape = Tape::new(s);
+        let mut binder = Binder::new();
+        let x = tape.input(DeviceMatrix::alloc(&mut gpu, uniform(&mut rng, 5, 4, 1.0)).unwrap());
+        let h = tape.input(DeviceMatrix::alloc(&mut gpu, Matrix::zeros(5, 3)).unwrap());
+        let c = tape.input(DeviceMatrix::alloc(&mut gpu, Matrix::zeros(5, 3)).unwrap());
+        let (h2, c2) = cell.step(&mut gpu, &mut tape, &mut binder, x, h, c).unwrap();
+        let hm = tape.host(h2);
+        assert_eq!(hm.shape(), (5, 3));
+        assert_eq!(tape.host(c2).shape(), (5, 3));
+        // h = o ⊙ tanh(c) ∈ (−1, 1)
+        assert!(hm.as_slice().iter().all(|v| v.abs() < 1.0));
+        tape.finish(&mut gpu);
+    }
+
+    #[test]
+    fn gru_interpolates_between_h_and_candidate() {
+        let (mut gpu, s) = setup();
+        let mut rng = seeded_rng(2);
+        let cell = GruCell::new(&mut gpu, &mut rng, "gru", 3, 3).unwrap();
+        let mut tape = Tape::new(s);
+        let mut binder = Binder::new();
+        let x = tape.input(DeviceMatrix::alloc(&mut gpu, uniform(&mut rng, 4, 3, 1.0)).unwrap());
+        let h = tape.input(DeviceMatrix::alloc(&mut gpu, Matrix::full(4, 3, 0.5)).unwrap());
+        let h2 = cell.step(&mut gpu, &mut tape, &mut binder, x, h).unwrap();
+        let hm = tape.host(h2);
+        assert_eq!(hm.shape(), (4, 3));
+        // new state is a convex-ish combination, bounded by max(|h|, 1)
+        assert!(hm.as_slice().iter().all(|v| v.abs() <= 1.0));
+        tape.finish(&mut gpu);
+    }
+
+    #[test]
+    fn cells_train_on_a_memorization_task() {
+        // One-step LSTM must learn to map a fixed input to a fixed target.
+        let (mut gpu, s) = setup();
+        let mut rng = seeded_rng(3);
+        let cell = LstmCell::new(&mut gpu, &mut rng, "lstm", 2, 2).unwrap();
+        let x_host = uniform(&mut rng, 6, 2, 1.0);
+        let target = uniform(&mut rng, 6, 2, 0.5);
+        let mut losses = Vec::new();
+        for _ in 0..40 {
+            let mut tape = Tape::new(s);
+            let mut binder = Binder::new();
+            let x = tape.input(DeviceMatrix::alloc(&mut gpu, x_host.clone()).unwrap());
+            let h = tape.input(DeviceMatrix::alloc(&mut gpu, Matrix::zeros(6, 2)).unwrap());
+            let c = tape.input(DeviceMatrix::alloc(&mut gpu, Matrix::zeros(6, 2)).unwrap());
+            let (h2, _) = cell.step(&mut gpu, &mut tape, &mut binder, x, h, c).unwrap();
+            losses.push(tape.mse_loss(&mut gpu, h2, &target));
+            tape.backward_mse(&mut gpu, h2, &target).unwrap();
+            binder.apply_sgd(&mut gpu, s, &tape, 0.5);
+            tape.finish(&mut gpu);
+        }
+        assert!(
+            losses.last().unwrap() < &(losses[0] * 0.95),
+            "LSTM failed to learn: {losses:?}"
+        );
+    }
+
+    #[test]
+    fn rnn_work_is_billed_to_rnn_category() {
+        let (mut gpu, s) = setup();
+        let mut rng = seeded_rng(4);
+        let cell = GruCell::new(&mut gpu, &mut rng, "gru", 2, 2).unwrap();
+        let snap = gpu.profiler().snapshot();
+        let mut tape = Tape::new(s);
+        let mut binder = Binder::new();
+        let x = tape.input(DeviceMatrix::alloc(&mut gpu, Matrix::full(3, 2, 0.1)).unwrap());
+        let h = tape.input(DeviceMatrix::alloc(&mut gpu, Matrix::zeros(3, 2)).unwrap());
+        cell.step(&mut gpu, &mut tape, &mut binder, x, h).unwrap();
+        let w = gpu.profiler().window(snap);
+        assert!(w.compute_by_category.contains_key("rnn"));
+        assert!(!w.compute_by_category.contains_key("aggregation"));
+        tape.finish(&mut gpu);
+    }
+}

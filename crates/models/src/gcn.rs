@@ -1,0 +1,123 @@
+//! GCN building blocks: snapshot normalization and the GCN layer.
+
+use crate::executor::GnnExecutor;
+use crate::params::{Binder, Param};
+use pipad_autograd::{Tape, Var};
+use pipad_gpu_sim::{Gpu, KernelCategory, OomError};
+use pipad_sparse::Csr;
+use rand::rngs::StdRng;
+use std::rc::Rc;
+
+/// A snapshot's adjacency prepared for GCN aggregation: `Â = A + I` plus
+/// the mean-normalization factors `1 / (deg + 1)`.
+///
+/// Keeping the adjacency binary and normalizing with a separate
+/// [`pipad_autograd::Tape::row_scale`] kernel is what lets snapshots that
+/// share topology share a *single* aggregation launch (PiPAD's overlap
+/// trick) — the per-snapshot degrees only enter through the cheap scaling
+/// kernel.
+#[derive(Clone)]
+pub struct NormalizedAdj {
+    /// `A + I`, symmetric.
+    pub adj_hat: Rc<Csr>,
+    /// `1 / (deg + 1)` per vertex.
+    pub inv_deg: Rc<Vec<f32>>,
+}
+
+/// Build the normalized form of a (symmetric, loop-free) snapshot adjacency.
+pub fn normalize_snapshot(adj: &Csr) -> NormalizedAdj {
+    let adj_hat = adj.with_self_loops();
+    let inv_deg: Vec<f32> = adj_hat
+        .degrees()
+        .into_iter()
+        .map(|d| 1.0 / d.max(1) as f32)
+        .collect();
+    NormalizedAdj {
+        adj_hat: Rc::new(adj_hat),
+        inv_deg: Rc::new(inv_deg),
+    }
+}
+
+/// One GCN layer: `relu(mean_agg(x) @ w + b)` (Equation 1 with mean
+/// aggregation and an FC update).
+pub struct GcnLayer {
+    /// Update weight (`in × out`).
+    pub w: Param,
+    /// Update bias (`1 × out`).
+    pub b: Param,
+    /// The in dim.
+    pub in_dim: usize,
+    /// The out dim.
+    pub out_dim: usize,
+}
+
+impl GcnLayer {
+    /// Create a new instance.
+    pub fn new(
+        gpu: &mut Gpu,
+        rng: &mut StdRng,
+        name: &str,
+        in_dim: usize,
+        out_dim: usize,
+    ) -> Result<Self, OomError> {
+        Ok(GcnLayer {
+            w: Param::glorot(gpu, rng, format!("{name}.w"), in_dim, out_dim)?,
+            b: Param::zeros_bias(gpu, format!("{name}.b"), out_dim)?,
+            in_dim,
+            out_dim,
+        })
+    }
+
+    /// Update phase over already-aggregated features for every frame slot,
+    /// routed through the executor (which may fuse it with weight reuse).
+    pub fn update_many(
+        &self,
+        gpu: &mut Gpu,
+        tape: &mut Tape,
+        binder: &mut Binder,
+        exec: &mut dyn GnnExecutor,
+        aggs: &[Var],
+        activation: bool,
+    ) -> Result<Vec<Var>, OomError> {
+        let w = binder.bind(tape, &self.w);
+        let b = binder.bind(tape, &self.b);
+        let hs = exec.update(gpu, tape, aggs, w, b)?;
+        if !activation {
+            return Ok(hs);
+        }
+        hs.into_iter()
+            .map(|h| tape.relu(gpu, h, KernelCategory::Update))
+            .collect()
+    }
+
+    /// The trainable parameters of this component.
+    pub fn params(&self) -> Vec<&Param> {
+        vec![&self.w, &self.b]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalization_adds_loops_and_inverts_degrees() {
+        let adj = Csr::from_edges(3, 3, &[(0, 1), (1, 0), (1, 2), (2, 1)]);
+        let n = normalize_snapshot(&adj);
+        assert!(n.adj_hat.contains(0, 0));
+        assert!(n.adj_hat.contains(2, 2));
+        // degrees with loops: v0 = 2, v1 = 3, v2 = 2
+        assert_eq!(n.inv_deg.len(), 3);
+        assert!((n.inv_deg[1] - 1.0 / 3.0).abs() < 1e-6);
+        assert!((n.inv_deg[0] - 0.5).abs() < 1e-6);
+        assert!(n.adj_hat.is_symmetric());
+    }
+
+    #[test]
+    fn isolated_vertices_do_not_divide_by_zero() {
+        let adj = Csr::empty(4, 4);
+        let n = normalize_snapshot(&adj);
+        // self-loop only → degree 1 → factor 1
+        assert!(n.inv_deg.iter().all(|&f| f == 1.0));
+    }
+}

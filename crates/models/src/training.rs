@@ -1,0 +1,226 @@
+//! Shared training types: the model trait, configuration and reports used
+//! by both the baseline trainers and PiPAD.
+
+use crate::evolve_gcn::EvolveGcn;
+use crate::executor::GnnExecutor;
+use crate::gat::GatRnn;
+use crate::mpnn_lstm::MpnnLstm;
+use crate::tgcn::TGcn;
+use pipad_autograd::{Tape, Var};
+use pipad_gpu_sim::{Breakdown, Gpu, OomError, SimNanos};
+use pipad_tensor::seeded_rng;
+
+/// The three evaluation models (§2.1 / Figure 2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ModelKind {
+    /// Mpnn Lstm.
+    MpnnLstm,
+    /// Evolve Gcn.
+    EvolveGcn,
+    /// TGcn.
+    TGcn,
+    /// Extension beyond the paper's three: attention aggregation + GRU
+    /// (demonstrates §1's generalization claim). Not part of
+    /// [`ModelKind::ALL`], which mirrors the paper's evaluation set.
+    GatRnn,
+}
+
+impl ModelKind {
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ModelKind::MpnnLstm => "MPNN-LSTM",
+            ModelKind::EvolveGcn => "EvolveGCN",
+            ModelKind::TGcn => "T-GCN",
+            ModelKind::GatRnn => "GAT-RNN",
+        }
+    }
+
+    /// The paper's evaluation set (§2.1).
+    pub const ALL: [ModelKind; 3] = [ModelKind::EvolveGcn, ModelKind::MpnnLstm, ModelKind::TGcn];
+
+    /// Paper set plus this repository's extensions.
+    pub const ALL_WITH_EXTENSIONS: [ModelKind; 4] = [
+        ModelKind::EvolveGcn,
+        ModelKind::MpnnLstm,
+        ModelKind::TGcn,
+        ModelKind::GatRnn,
+    ];
+}
+
+/// Result of one frame forward: the prediction plus the parameter bindings
+/// the optimizer needs.
+pub struct ForwardOutput {
+    /// The pred.
+    pub pred: Var,
+    /// The binder.
+    pub binder: crate::params::Binder,
+}
+
+/// A DGNN model trainable over frames through any [`GnnExecutor`].
+pub trait DgnnModel {
+    /// See the type-level documentation.
+    fn kind(&self) -> ModelKind;
+
+    /// Forward one frame; prediction has shape `n × out_dim`.
+    fn forward_frame(
+        &self,
+        gpu: &mut Gpu,
+        tape: &mut Tape,
+        exec: &mut dyn GnnExecutor,
+    ) -> Result<ForwardOutput, OomError>;
+
+    /// All trainable parameters (for counting/reporting).
+    fn params(&self) -> Vec<&crate::params::Param>;
+
+    /// Output dimension (equals the input feature dimension — models
+    /// predict the next snapshot's features).
+    fn out_dim(&self) -> usize;
+
+    /// Whether the FC update phase may share weights across snapshots
+    /// (false for EvolveGCN, whose weights evolve along the timeline).
+    fn supports_weight_reuse(&self) -> bool;
+
+    /// Number of GCN layers whose *input* is the raw features (and whose
+    /// aggregation is therefore cacheable by inter-frame reuse). T-GCN's
+    /// gates all share one such aggregation; a 2-layer GCN has exactly one.
+    fn needs_hidden_aggregation(&self) -> bool;
+}
+
+/// Build a model for a dataset's dimensions, seeded deterministically.
+pub fn build_model(
+    gpu: &mut Gpu,
+    kind: ModelKind,
+    in_dim: usize,
+    hidden: usize,
+    seed: u64,
+) -> Result<Box<dyn DgnnModel>, OomError> {
+    let mut rng = seeded_rng(seed);
+    Ok(match kind {
+        ModelKind::MpnnLstm => Box::new(MpnnLstm::new(gpu, &mut rng, in_dim, hidden)?),
+        ModelKind::EvolveGcn => Box::new(EvolveGcn::new(gpu, &mut rng, in_dim, hidden)?),
+        ModelKind::TGcn => Box::new(TGcn::new(gpu, &mut rng, in_dim, hidden)?),
+        ModelKind::GatRnn => Box::new(GatRnn::new(gpu, &mut rng, in_dim, hidden)?),
+    })
+}
+
+/// Training hyper-parameters shared by every trainer.
+#[derive(Clone, Debug)]
+pub struct TrainingConfig {
+    /// Sliding-window size (paper: 16).
+    pub window: usize,
+    /// Total epochs to simulate.
+    pub epochs: usize,
+    /// Preparing epochs (profiling + slicing; paper: ~2).
+    pub preparing_epochs: usize,
+    /// SGD learning rate.
+    pub lr: f32,
+    /// Model-init seed.
+    pub seed: u64,
+}
+
+impl Default for TrainingConfig {
+    fn default() -> Self {
+        TrainingConfig {
+            window: 16,
+            epochs: 6,
+            preparing_epochs: 2,
+            lr: 0.01,
+            seed: 7,
+        }
+    }
+}
+
+/// Per-epoch record.
+#[derive(Clone, Debug)]
+pub struct EpochReport {
+    /// The epoch.
+    pub epoch: usize,
+    /// The mean loss.
+    pub mean_loss: f32,
+    /// Simulated wall time of this epoch.
+    pub sim_time: SimNanos,
+}
+
+/// Full training-run record.
+#[derive(Clone, Debug)]
+pub struct TrainReport {
+    /// The trainer.
+    pub trainer: String,
+    /// The model.
+    pub model: ModelKind,
+    /// The dataset.
+    pub dataset: String,
+    /// Per-epoch loss and simulated-time records.
+    pub epochs: Vec<EpochReport>,
+    /// Simulated wall time of the whole run.
+    pub total_time: SimNanos,
+    /// Mean simulated time of the post-preparation (steady-state) epochs.
+    pub steady_epoch_time: SimNanos,
+    /// Profiler aggregate over the steady-state epochs.
+    pub steady: Breakdown,
+    /// Peak device memory over the run, bytes.
+    pub peak_mem: u64,
+}
+
+impl TrainReport {
+    /// Losses per epoch, for convergence checks.
+    pub fn losses(&self) -> Vec<f32> {
+        self.epochs.iter().map(|e| e.mean_loss).collect()
+    }
+
+    /// End-to-end speedup of this run relative to `other` (steady-state).
+    pub fn speedup_over(&self, other: &TrainReport) -> f64 {
+        other.steady_epoch_time.as_nanos() as f64 / self.steady_epoch_time.as_nanos().max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pipad_gpu_sim::DeviceConfig;
+
+    #[test]
+    fn model_factory_builds_all_kinds() {
+        let mut gpu = Gpu::new(DeviceConfig::v100());
+        for kind in ModelKind::ALL {
+            let m = build_model(&mut gpu, kind, 4, 8, 1).unwrap();
+            assert_eq!(m.kind(), kind);
+            assert_eq!(m.out_dim(), 4);
+            assert!(!m.params().is_empty());
+        }
+    }
+
+    #[test]
+    fn weight_reuse_support_matches_paper() {
+        let mut gpu = Gpu::new(DeviceConfig::v100());
+        // §4.2: weight reuse "can not be applied to EvolveGCN since it
+        // updates the weights along the timeline".
+        assert!(!build_model(&mut gpu, ModelKind::EvolveGcn, 4, 8, 1)
+            .unwrap()
+            .supports_weight_reuse());
+        assert!(build_model(&mut gpu, ModelKind::MpnnLstm, 4, 8, 1)
+            .unwrap()
+            .supports_weight_reuse());
+        assert!(build_model(&mut gpu, ModelKind::TGcn, 4, 8, 1)
+            .unwrap()
+            .supports_weight_reuse());
+    }
+
+    #[test]
+    fn hidden_aggregation_need_matches_paper() {
+        let mut gpu = Gpu::new(DeviceConfig::v100());
+        // §5.2: with reuse, T-GCN "behaves like only owning one GCN" (no
+        // aggregation left), while EvolveGCN/MPNN-LSTM still aggregate in
+        // their second layer.
+        assert!(!build_model(&mut gpu, ModelKind::TGcn, 4, 8, 1)
+            .unwrap()
+            .needs_hidden_aggregation());
+        assert!(build_model(&mut gpu, ModelKind::EvolveGcn, 4, 8, 1)
+            .unwrap()
+            .needs_hidden_aggregation());
+        assert!(build_model(&mut gpu, ModelKind::MpnnLstm, 4, 8, 1)
+            .unwrap()
+            .needs_hidden_aggregation());
+    }
+}

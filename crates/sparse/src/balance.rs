@@ -1,0 +1,90 @@
+//! Per-thread-block work distributions for the load-balance analysis
+//! (Figure 12). A CSR kernel binds warps to whole rows, so hub vertices
+//! produce monster blocks; the sliced layout caps per-slice work at
+//! `slice_cap` nonzeros.
+
+use crate::csr::Csr;
+use crate::sliced::SlicedCsr;
+
+/// Fixed work units charged per scheduled row/slice even when empty —
+/// models the warp-scheduling overhead that makes Youtube's empty rows
+/// expensive under row-per-warp kernels.
+pub const ROW_OVERHEAD: u64 = 1;
+
+/// Work per thread block for a row-per-warp CSR kernel: `rows_per_block`
+/// consecutive rows per block, each row costing `nnz + ROW_OVERHEAD`.
+pub fn csr_block_work(csr: &Csr, rows_per_block: usize) -> Vec<u64> {
+    assert!(rows_per_block > 0);
+    let degrees = csr.degrees();
+    degrees
+        .chunks(rows_per_block)
+        .map(|chunk| {
+            chunk
+                .iter()
+                .map(|&d| d as u64 + ROW_OVERHEAD)
+                .sum()
+        })
+        .collect()
+}
+
+/// Work per thread block for a slice-grained kernel: `slices_per_block`
+/// consecutive slices per block. Slice sizes are capped, so the resulting
+/// distribution is near-uniform regardless of degree skew.
+pub fn sliced_block_work(sliced: &SlicedCsr, slices_per_block: usize) -> Vec<u64> {
+    assert!(slices_per_block > 0);
+    sliced
+        .slice_sizes()
+        .chunks(slices_per_block)
+        .map(|chunk| chunk.iter().map(|&n| n as u64 + ROW_OVERHEAD).sum())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pipad_gpu_sim::schedule_blocks;
+
+    fn skewed() -> Csr {
+        // one hub with 512 out-edges plus 63 degree-1 vertices
+        let mut edges: Vec<(u32, u32)> = (0..512u32).map(|c| (0, c % 600)).collect();
+        edges.extend((1..64u32).map(|r| (r, r)));
+        Csr::from_edges(64, 600, &edges)
+    }
+
+    #[test]
+    fn csr_work_reflects_degree_skew() {
+        let w = csr_block_work(&skewed(), 1);
+        assert_eq!(w.len(), 64);
+        assert!(w[0] > 100 * w[1]);
+    }
+
+    #[test]
+    fn sliced_work_is_capped() {
+        let s = SlicedCsr::from_csr(&skewed());
+        let w = sliced_block_work(&s, 1);
+        assert!(w.iter().all(|&x| x <= 32 + ROW_OVERHEAD));
+    }
+
+    #[test]
+    fn sliced_layout_balances_better() {
+        let csr = skewed();
+        let sliced = SlicedCsr::from_csr(&csr);
+        let f_csr = schedule_blocks(&csr_block_work(&csr, 1), 8).factor();
+        let f_sliced = schedule_blocks(&sliced_block_work(&sliced, 1), 8).factor();
+        assert!(
+            f_sliced < f_csr,
+            "sliced={f_sliced:.2} should beat csr={f_csr:.2}"
+        );
+    }
+
+    #[test]
+    fn empty_rows_still_cost_scheduling() {
+        let c = Csr::empty(100, 100);
+        let w = csr_block_work(&c, 4);
+        assert_eq!(w.len(), 25);
+        assert!(w.iter().all(|&x| x == 4 * ROW_OVERHEAD));
+        // sliced CSR schedules nothing for empty rows
+        let s = SlicedCsr::from_csr(&c);
+        assert!(sliced_block_work(&s, 4).is_empty());
+    }
+}

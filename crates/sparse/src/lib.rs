@@ -1,0 +1,31 @@
+#![warn(missing_docs)]
+//! # pipad-sparse
+//!
+//! Sparse graph representations for the PiPAD reproduction:
+//!
+//! * [`Coo`] — coordinate format, what PyG(T) ships to the device;
+//! * [`Csr`] — compressed sparse row, the standard aggregation format;
+//! * [`SlicedCsr`] — the paper's §4.1 contribution: every row is cut into
+//!   slices holding at most `slice_cap` (default 32) nonzeros, stored with
+//!   `Row Indices` + `Slice Offsets` arrays. Slices give (a) a fine, stable
+//!   granularity for extracting the topology overlap shared by adjacent
+//!   snapshots and (b) bounded per-warp work for load balance;
+//! * [`overlap`] — slice-friendly overlap/exclusive splitting of a snapshot
+//!   group plus ESDG-style graph diffs;
+//! * [`balance`] — per-thread-block work distributions for the Figure 12
+//!   load-balance analysis.
+//!
+//! Space accounting follows the paper exactly: CSR costs
+//! `2·nnz + #vertices + 1` words, sliced CSR `2·nnz + 2·#slices + 1`, COO
+//! `3·nnz` (§4.1 "Space overhead").
+
+pub mod balance;
+mod coo;
+mod csr;
+pub mod overlap;
+mod sliced;
+
+pub use coo::Coo;
+pub use csr::Csr;
+pub use overlap::{extract_overlap, graph_diff, overlap_rate, OverlapSplit};
+pub use sliced::{SlicedCsr, DEFAULT_SLICE_CAP};

@@ -1,0 +1,19 @@
+#![warn(missing_docs)]
+//! # pipad-tensor
+//!
+//! Dense f32 matrix math for the PiPAD reproduction: the numerical engine
+//! behind every "device" kernel in `pipad-kernels`. The simulated GPU
+//! accounts for *cost*; this crate produces the actual *values*, so training
+//! genuinely converges.
+//!
+//! Matrices are row-major `Vec<f32>` with `rows × cols` shape. GEMM is
+//! cache-blocked and splits row bands across OS threads with
+//! `crossbeam::scope` for large shapes.
+
+mod init;
+mod matrix;
+mod ops;
+
+pub use init::{glorot_uniform, seeded_rng, uniform};
+pub use matrix::Matrix;
+pub use ops::{gemm, gemm_nt, gemm_tn, PAR_THRESHOLD};

@@ -1,0 +1,431 @@
+//! Row-major dense f32 matrix.
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A dense `rows × cols` matrix of `f32` in row-major order.
+#[derive(Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// All-zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Matrix filled with `v`.
+    pub fn full(rows: usize, cols: usize, v: f32) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![v; rows * cols],
+        }
+    }
+
+    /// Build from a generator `f(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f32) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Matrix { rows, cols, data }
+    }
+
+    /// Wrap an existing buffer; `data.len()` must equal `rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), rows * cols, "shape/buffer mismatch");
+        Matrix { rows, cols, data }
+    }
+
+    /// Identity matrix.
+    pub fn eye(n: usize) -> Self {
+        Matrix::from_fn(n, n, |r, c| if r == c { 1.0 } else { 0.0 })
+    }
+
+    #[inline]
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    #[inline]
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    #[inline]
+    /// `(rows, cols)` of the matrix.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    #[inline]
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    #[inline]
+    /// Whether there are no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Size of the backing buffer in bytes (what a device transfer moves).
+    #[inline]
+    pub fn bytes(&self) -> u64 {
+        (self.data.len() * std::mem::size_of::<f32>()) as u64
+    }
+
+    #[inline]
+    /// As slice.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    #[inline]
+    /// As mut slice.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    #[inline]
+    /// Column indices of one row.
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    #[inline]
+    /// Row mut.
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Immutable bands of whole rows, for threaded kernels.
+    pub fn row_chunks(&self, rows_per_chunk: usize) -> impl Iterator<Item = &[f32]> {
+        self.data.chunks(rows_per_chunk * self.cols)
+    }
+
+    /// Transposed copy.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out[(c, r)] = self[(r, c)];
+            }
+        }
+        out
+    }
+
+    /// Elementwise map into a new matrix.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+
+    /// Elementwise combine with another same-shape matrix.
+    pub fn zip(&self, other: &Matrix, f: impl Fn(f32, f32) -> f32) -> Matrix {
+        assert_eq!(self.shape(), other.shape(), "shape mismatch in zip");
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+        }
+    }
+
+    /// In-place elementwise accumulate: `self += other`.
+    pub fn add_assign(&mut self, other: &Matrix) {
+        assert_eq!(self.shape(), other.shape(), "shape mismatch in add_assign");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
+    /// In-place scale.
+    pub fn scale_assign(&mut self, s: f32) {
+        for a in &mut self.data {
+            *a *= s;
+        }
+    }
+
+    /// Concatenate matrices horizontally (same row count).
+    pub fn concat_cols(parts: &[&Matrix]) -> Matrix {
+        assert!(!parts.is_empty(), "concat of nothing");
+        let rows = parts[0].rows;
+        assert!(
+            parts.iter().all(|p| p.rows == rows),
+            "row mismatch in concat_cols"
+        );
+        let cols: usize = parts.iter().map(|p| p.cols).sum();
+        let mut out = Matrix::zeros(rows, cols);
+        for r in 0..rows {
+            let dst = out.row_mut(r);
+            let mut off = 0;
+            for p in parts {
+                dst[off..off + p.cols].copy_from_slice(p.row(r));
+                off += p.cols;
+            }
+        }
+        out
+    }
+
+    /// Concatenate matrices vertically (same column count).
+    pub fn concat_rows(parts: &[&Matrix]) -> Matrix {
+        assert!(!parts.is_empty(), "concat of nothing");
+        let cols = parts[0].cols;
+        assert!(
+            parts.iter().all(|p| p.cols == cols),
+            "column mismatch in concat_rows"
+        );
+        let rows: usize = parts.iter().map(|p| p.rows).sum();
+        let mut data = Vec::with_capacity(rows * cols);
+        for p in parts {
+            data.extend_from_slice(&p.data);
+        }
+        Matrix { rows, cols, data }
+    }
+
+    /// Extract the row range `[from, to)` into a new matrix.
+    pub fn slice_rows(&self, from: usize, to: usize) -> Matrix {
+        assert!(from <= to && to <= self.rows, "row slice out of range");
+        Matrix {
+            rows: to - from,
+            cols: self.cols,
+            data: self.data[from * self.cols..to * self.cols].to_vec(),
+        }
+    }
+
+    /// Extract the column range `[from, to)` into a new matrix.
+    pub fn slice_cols(&self, from: usize, to: usize) -> Matrix {
+        assert!(from <= to && to <= self.cols, "column slice out of range");
+        let mut out = Matrix::zeros(self.rows, to - from);
+        for r in 0..self.rows {
+            out.row_mut(r).copy_from_slice(&self.row(r)[from..to]);
+        }
+        out
+    }
+
+    /// Split into equal-width column chunks (inverse of `concat_cols` with
+    /// equal parts).
+    pub fn split_cols(&self, n_parts: usize) -> Vec<Matrix> {
+        assert!(n_parts > 0 && self.cols % n_parts == 0, "uneven split");
+        let w = self.cols / n_parts;
+        (0..n_parts)
+            .map(|i| self.slice_cols(i * w, (i + 1) * w))
+            .collect()
+    }
+
+    /// Sum of all entries.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of all entries.
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f32
+        }
+    }
+
+    /// Squared Frobenius norm.
+    pub fn norm_sq(&self) -> f32 {
+        self.data.iter().map(|&x| x * x).sum()
+    }
+
+    /// Column-wise sums (length `cols`): the bias-gradient reduction.
+    pub fn col_sums(&self) -> Vec<f32> {
+        let mut out = vec![0.0; self.cols];
+        for r in 0..self.rows {
+            for (o, &v) in out.iter_mut().zip(self.row(r)) {
+                *o += v;
+            }
+        }
+        out
+    }
+
+    /// Max absolute difference against another matrix.
+    pub fn max_abs_diff(&self, other: &Matrix) -> f32 {
+        assert_eq!(self.shape(), other.shape());
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f32::max)
+    }
+
+    /// True when every entry differs by at most `tol`.
+    pub fn approx_eq(&self, other: &Matrix, tol: f32) -> bool {
+        self.shape() == other.shape() && self.max_abs_diff(other) <= tol
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f32;
+    #[inline]
+    fn index(&self, (r, c): (usize, usize)) -> &f32 {
+        debug_assert!(r < self.rows && c < self.cols);
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f32 {
+        debug_assert!(r < self.rows && c < self.cols);
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Matrix({}x{})", self.rows, self.cols)?;
+        if self.rows <= 8 && self.cols <= 8 {
+            for r in 0..self.rows {
+                write!(f, "\n  {:?}", self.row(r))?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_indexing() {
+        let m = Matrix::from_fn(2, 3, |r, c| (r * 3 + c) as f32);
+        assert_eq!(m.shape(), (2, 3));
+        assert_eq!(m[(1, 2)], 5.0);
+        assert_eq!(m.row(1), &[3.0, 4.0, 5.0]);
+        assert_eq!(m.bytes(), 24);
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let m = Matrix::from_fn(3, 5, |r, c| (r * 10 + c) as f32);
+        assert_eq!(m.transpose().transpose(), m);
+        assert_eq!(m.transpose()[(4, 2)], m[(2, 4)]);
+    }
+
+    #[test]
+    fn eye_is_identity_under_zip() {
+        let i = Matrix::eye(4);
+        assert_eq!(i.sum(), 4.0);
+        assert_eq!(i[(2, 2)], 1.0);
+        assert_eq!(i[(2, 3)], 0.0);
+    }
+
+    #[test]
+    fn concat_and_split_are_inverses() {
+        let a = Matrix::from_fn(4, 2, |r, c| (r + c) as f32);
+        let b = Matrix::from_fn(4, 2, |r, c| (r * c) as f32 + 9.0);
+        let cat = Matrix::concat_cols(&[&a, &b]);
+        assert_eq!(cat.shape(), (4, 4));
+        let parts = cat.split_cols(2);
+        assert_eq!(parts[0], a);
+        assert_eq!(parts[1], b);
+    }
+
+    #[test]
+    fn slice_cols_subset() {
+        let m = Matrix::from_fn(2, 5, |_, c| c as f32);
+        let s = m.slice_cols(1, 4);
+        assert_eq!(s.shape(), (2, 3));
+        assert_eq!(s.row(0), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn reductions() {
+        let m = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(m.sum(), 10.0);
+        assert_eq!(m.mean(), 2.5);
+        assert_eq!(m.norm_sq(), 30.0);
+        assert_eq!(m.col_sums(), vec![4.0, 6.0]);
+    }
+
+    #[test]
+    fn map_zip_accumulate() {
+        let a = Matrix::full(2, 2, 2.0);
+        let b = Matrix::full(2, 2, 3.0);
+        assert_eq!(a.map(|x| x * x).sum(), 16.0);
+        assert_eq!(a.zip(&b, |x, y| x * y).sum(), 24.0);
+        let mut c = a.clone();
+        c.add_assign(&b);
+        assert_eq!(c.sum(), 20.0);
+        c.scale_assign(0.5);
+        assert_eq!(c.sum(), 10.0);
+    }
+
+    #[test]
+    fn approx_eq_tolerance() {
+        let a = Matrix::full(2, 2, 1.0);
+        let mut b = a.clone();
+        b[(0, 0)] = 1.0005;
+        assert!(a.approx_eq(&b, 1e-3));
+        assert!(!a.approx_eq(&b, 1e-4));
+    }
+
+    #[test]
+    #[should_panic(expected = "shape/buffer mismatch")]
+    fn bad_from_vec_panics() {
+        let _ = Matrix::from_vec(2, 3, vec![0.0; 5]);
+    }
+
+    #[test]
+    fn concat_rows_and_slice_rows_are_inverses() {
+        let a = Matrix::from_fn(2, 3, |r, c| (r * 3 + c) as f32);
+        let b = Matrix::from_fn(3, 3, |r, c| 100.0 + (r * 3 + c) as f32);
+        let cat = Matrix::concat_rows(&[&a, &b]);
+        assert_eq!(cat.shape(), (5, 3));
+        assert_eq!(cat.slice_rows(0, 2), a);
+        assert_eq!(cat.slice_rows(2, 5), b);
+        assert_eq!(cat.row(2), b.row(0));
+    }
+
+    #[test]
+    fn row_chunks_cover_the_matrix() {
+        let m = Matrix::from_fn(5, 2, |r, c| (r * 2 + c) as f32);
+        let chunks: Vec<&[f32]> = m.row_chunks(2).collect();
+        assert_eq!(chunks.len(), 3);
+        assert_eq!(chunks[0].len(), 4);
+        assert_eq!(chunks[2].len(), 2); // remainder
+        let total: usize = chunks.iter().map(|c| c.len()).sum();
+        assert_eq!(total, m.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "row slice out of range")]
+    fn bad_row_slice_panics() {
+        let _ = Matrix::zeros(2, 2).slice_rows(1, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "column mismatch")]
+    fn concat_rows_rejects_width_mismatch() {
+        let a = Matrix::zeros(2, 2);
+        let b = Matrix::zeros(2, 3);
+        let _ = Matrix::concat_rows(&[&a, &b]);
+    }
+}

@@ -1,0 +1,197 @@
+//! GEMM kernels: cache-blocked inner loops, threaded across row bands for
+//! large shapes via `crossbeam::scope`.
+
+use crate::matrix::Matrix;
+
+/// Minimum `rows × cols × inner` FLOP volume before GEMM spawns threads.
+pub const PAR_THRESHOLD: usize = 1 << 20;
+
+const BLOCK: usize = 64;
+
+/// `C = A × B`.
+pub fn gemm(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(
+        a.cols(),
+        b.rows(),
+        "gemm shape mismatch: {:?} x {:?}",
+        a.shape(),
+        b.shape()
+    );
+    let (m, k) = a.shape();
+    let n = b.cols();
+    let mut out = Matrix::zeros(m, n);
+    let volume = m * n * k;
+    if volume < PAR_THRESHOLD {
+        gemm_band(a.as_slice(), b.as_slice(), out.as_mut_slice(), m, k, n);
+        return out;
+    }
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4)
+        .min(m.max(1));
+    let rows_per = m.div_ceil(threads);
+    let b_data = b.as_slice();
+    let a_data = a.as_slice();
+    crossbeam::scope(|scope| {
+        for (band_idx, out_band) in out.as_mut_slice().chunks_mut(rows_per * n).enumerate() {
+            let a_band = &a_data[band_idx * rows_per * k..];
+            scope.spawn(move |_| {
+                let band_rows = out_band.len() / n;
+                gemm_band(&a_band[..band_rows * k], b_data, out_band, band_rows, k, n);
+            });
+        }
+    })
+    .expect("gemm worker panicked");
+    out
+}
+
+/// Cache-blocked `C[m×n] += A[m×k] × B[k×n]` over raw row-major slices.
+fn gemm_band(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    for kk in (0..k).step_by(BLOCK) {
+        let k_end = (kk + BLOCK).min(k);
+        for i in 0..m {
+            let a_row = &a[i * k..(i + 1) * k];
+            let c_row = &mut c[i * n..(i + 1) * n];
+            for p in kk..k_end {
+                let av = a_row[p];
+                if av == 0.0 {
+                    continue;
+                }
+                let b_row = &b[p * n..(p + 1) * n];
+                for (cv, &bv) in c_row.iter_mut().zip(b_row) {
+                    *cv += av * bv;
+                }
+            }
+        }
+    }
+}
+
+/// `C = Aᵀ × B` (gradient w.r.t. weights: `X ᵀ dY`).
+pub fn gemm_tn(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(
+        a.rows(),
+        b.rows(),
+        "gemm_tn shape mismatch: {:?}ᵀ x {:?}",
+        a.shape(),
+        b.shape()
+    );
+    let (k, m) = a.shape();
+    let n = b.cols();
+    let mut out = Matrix::zeros(m, n);
+    // Accumulate rank-1 contributions row by row: cache-friendly on both
+    // inputs and avoids materializing Aᵀ.
+    for p in 0..k {
+        let a_row = a.row(p);
+        let b_row = b.row(p);
+        for (i, &av) in a_row.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let c_row = out.row_mut(i);
+            for (cv, &bv) in c_row.iter_mut().zip(b_row) {
+                *cv += av * bv;
+            }
+        }
+    }
+    out
+}
+
+/// `C = A × Bᵀ` (gradient w.r.t. inputs: `dY Wᵀ`).
+pub fn gemm_nt(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(
+        a.cols(),
+        b.cols(),
+        "gemm_nt shape mismatch: {:?} x {:?}ᵀ",
+        a.shape(),
+        b.shape()
+    );
+    let (m, _k) = a.shape();
+    let n = b.rows();
+    let mut out = Matrix::zeros(m, n);
+    for i in 0..m {
+        let a_row = a.row(i);
+        let c_row = out.row_mut(i);
+        for (j, cv) in c_row.iter_mut().enumerate() {
+            let b_row = b.row(j);
+            let mut acc = 0.0;
+            for (&av, &bv) in a_row.iter().zip(b_row) {
+                acc += av * bv;
+            }
+            *cv = acc;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::{seeded_rng, uniform};
+
+    fn naive(a: &Matrix, b: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(a.rows(), b.cols());
+        for i in 0..a.rows() {
+            for j in 0..b.cols() {
+                let mut s = 0.0;
+                for p in 0..a.cols() {
+                    s += a[(i, p)] * b[(p, j)];
+                }
+                out[(i, j)] = s;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn gemm_matches_naive_small() {
+        let mut rng = seeded_rng(7);
+        let a = uniform(&mut rng, 13, 17, 1.0);
+        let b = uniform(&mut rng, 17, 9, 1.0);
+        assert!(gemm(&a, &b).approx_eq(&naive(&a, &b), 1e-4));
+    }
+
+    #[test]
+    fn gemm_matches_naive_threaded() {
+        // big enough to cross PAR_THRESHOLD (m*n*k = 128^3 = 2M)
+        let mut rng = seeded_rng(11);
+        let a = uniform(&mut rng, 128, 128, 1.0);
+        let b = uniform(&mut rng, 128, 128, 1.0);
+        assert!(gemm(&a, &b).approx_eq(&naive(&a, &b), 1e-2));
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let mut rng = seeded_rng(3);
+        let a = uniform(&mut rng, 6, 6, 1.0);
+        assert!(gemm(&a, &Matrix::eye(6)).approx_eq(&a, 1e-6));
+        assert!(gemm(&Matrix::eye(6), &a).approx_eq(&a, 1e-6));
+    }
+
+    #[test]
+    fn tn_and_nt_match_explicit_transpose() {
+        let mut rng = seeded_rng(5);
+        let a = uniform(&mut rng, 10, 7, 1.0);
+        let b = uniform(&mut rng, 10, 4, 1.0);
+        assert!(gemm_tn(&a, &b).approx_eq(&gemm(&a.transpose(), &b), 1e-4));
+
+        let c = uniform(&mut rng, 6, 7, 1.0);
+        let d = uniform(&mut rng, 5, 7, 1.0);
+        assert!(gemm_nt(&c, &d).approx_eq(&gemm(&c, &d.transpose()), 1e-4));
+    }
+
+    #[test]
+    fn degenerate_shapes() {
+        let a = Matrix::zeros(0, 5);
+        let b = Matrix::zeros(5, 3);
+        assert_eq!(gemm(&a, &b).shape(), (0, 3));
+        let a = Matrix::from_vec(1, 1, vec![2.0]);
+        let b = Matrix::from_vec(1, 1, vec![3.0]);
+        assert_eq!(gemm(&a, &b)[(0, 0)], 6.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "gemm shape mismatch")]
+    fn mismatched_shapes_panic() {
+        let _ = gemm(&Matrix::zeros(2, 3), &Matrix::zeros(4, 2));
+    }
+}

@@ -1,0 +1,80 @@
+//! Traffic forecasting with T-GCN on the PEMS08 analogue — the workload
+//! T-GCN (Zhao et al.) targets: predict sensor readings on a road network
+//! whose link conditions evolve over time.
+//!
+//! Demonstrates the incremental-comparison story of the paper's §5.1: each
+//! system adds one mechanism, and on T-GCN the inter-frame reuse is the
+//! decisive one (it removes *all* aggregation — §5.2).
+//!
+//! ```text
+//! cargo run --release --example traffic_forecast
+//! ```
+
+use pipad_repro::baselines::{train_baseline, BaselineKind};
+use pipad_repro::dyngraph::{DatasetId, Scale};
+use pipad_repro::gpu_sim::{DeviceConfig, Gpu};
+use pipad_repro::models::{ModelKind, TrainReport, TrainingConfig};
+use pipad_repro::pipad::{train_pipad, PipadConfig};
+
+fn main() {
+    let graph = DatasetId::Pems08.gen_config(Scale::Tiny).generate();
+    println!(
+        "PEMS08 analogue: {} sensors, {} snapshots, {}-dim readings\n",
+        graph.n(),
+        graph.len(),
+        graph.feature_dim()
+    );
+    let cfg = TrainingConfig {
+        window: 8,
+        epochs: 4,
+        preparing_epochs: 2,
+        lr: 0.02,
+        seed: 5,
+    };
+    let hidden = 32;
+
+    let mut reports: Vec<TrainReport> = Vec::new();
+    for kind in BaselineKind::ALL {
+        let mut gpu = Gpu::new(DeviceConfig::v100());
+        reports.push(
+            train_baseline(&mut gpu, kind, ModelKind::TGcn, &graph, hidden, &cfg)
+                .expect("baseline failed"),
+        );
+    }
+    let mut gpu = Gpu::new(DeviceConfig::v100());
+    reports.push(
+        train_pipad(
+            &mut gpu,
+            ModelKind::TGcn,
+            &graph,
+            hidden,
+            &cfg,
+            &PipadConfig::default(),
+        )
+        .expect("pipad failed"),
+    );
+
+    let base_time = reports[0].steady_epoch_time;
+    println!("system    steady epoch     speedup   H2D/epoch     aggregation kernels");
+    for r in &reports {
+        let agg = r
+            .steady
+            .compute_by_category
+            .get("aggregation")
+            .map(|t| t.to_string())
+            .unwrap_or_else(|| "none".to_string());
+        println!(
+            "{:<9} {:>12}   {:>6.2}x   {:>8.1} KiB   {}",
+            r.trainer,
+            r.steady_epoch_time.to_string(),
+            base_time.as_nanos() as f64 / r.steady_epoch_time.as_nanos().max(1) as f64,
+            r.steady.h2d_bytes as f64 / 1024.0 / 2.0,
+            agg,
+        );
+    }
+    println!(
+        "\nNote how PyGT-R already eliminates T-GCN's aggregation entirely (all of it is\n\
+         over raw inputs, hence cacheable) and PiPAD adds the parallel update + pipeline\n\
+         on top — the paper's explanation for this model's speedup profile (§5.2)."
+    );
+}

@@ -1,0 +1,13 @@
+//! Workspace facade crate: hosts the runnable examples in `examples/` and the
+//! cross-crate integration tests in `tests/`. Re-exports the public crates so
+//! examples can use a single dependency root.
+
+pub use pipad;
+pub use pipad_autograd as autograd;
+pub use pipad_baselines as baselines;
+pub use pipad_dyngraph as dyngraph;
+pub use pipad_gpu_sim as gpu_sim;
+pub use pipad_kernels as kernels;
+pub use pipad_models as models;
+pub use pipad_sparse as sparse;
+pub use pipad_tensor as tensor;

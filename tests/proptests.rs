@@ -1,0 +1,214 @@
+//! Property-based suites over the core data structures and invariants,
+//! spanning crates: graph formats, overlap extraction, kernel/reference
+//! agreement, space-cost formulas and simulator monotonicity.
+
+use pipad_repro::gpu_sim::{schedule_blocks, DeviceConfig, Gpu, SimNanos};
+use pipad_repro::kernels::{
+    spmm_coo_scatter, spmm_gespmm, spmm_sliced_parallel, upload_csr, upload_matrix, upload_sliced,
+};
+use pipad_repro::sparse::{extract_overlap, graph_diff, Coo, Csr, SlicedCsr};
+use pipad_repro::tensor::Matrix;
+use proptest::prelude::*;
+use std::collections::HashSet;
+use std::rc::Rc;
+
+/// Strategy: a random edge list over up to `n` vertices.
+fn edges(n: u32, max_edges: usize) -> impl Strategy<Value = (u32, Vec<(u32, u32)>)> {
+    (2..=n).prop_flat_map(move |nv| {
+        let edge = (0..nv, 0..nv);
+        (Just(nv), proptest::collection::vec(edge, 0..max_edges))
+    })
+}
+
+/// Strategy: a random symmetric graph.
+fn sym_graph(n: u32, max_edges: usize) -> impl Strategy<Value = Csr> {
+    edges(n, max_edges).prop_map(|(nv, es)| {
+        let mut sym = Vec::with_capacity(es.len() * 2);
+        for (u, v) in es {
+            if u != v {
+                sym.push((u, v));
+                sym.push((v, u));
+            }
+        }
+        Csr::from_edges(nv as usize, nv as usize, &sym)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn csr_coo_round_trip((nv, es) in edges(40, 120)) {
+        let csr = Csr::from_edges(nv as usize, nv as usize, &es);
+        prop_assert_eq!(csr.to_coo().to_csr(), csr);
+    }
+
+    #[test]
+    fn sliced_round_trip_any_cap((nv, es) in edges(40, 120), cap in 1usize..40) {
+        let csr = Csr::from_edges(nv as usize, nv as usize, &es);
+        let sliced = SlicedCsr::from_csr_with_cap(&csr, cap);
+        prop_assert_eq!(sliced.to_csr(), csr.clone());
+        // every slice respects the cap and nnz is conserved
+        prop_assert!(sliced.slice_sizes().iter().all(|&s| s as usize <= cap));
+        prop_assert_eq!(sliced.nnz(), csr.nnz());
+    }
+
+    #[test]
+    fn space_formulas((nv, es) in edges(40, 120)) {
+        let csr = Csr::from_edges(nv as usize, nv as usize, &es);
+        let sliced = SlicedCsr::from_csr(&csr);
+        let coo = csr.to_coo();
+        let nnz = csr.nnz() as u64;
+        prop_assert_eq!(csr.words(), 2 * nnz + nv as u64 + 1);
+        prop_assert_eq!(coo.words(), 3 * nnz);
+        prop_assert_eq!(sliced.words(), 2 * nnz + 2 * sliced.n_slices() as u64 + 1);
+    }
+
+    #[test]
+    fn transpose_involution((nv, es) in edges(30, 100)) {
+        let csr = Csr::from_edges(nv as usize, nv as usize, &es);
+        prop_assert_eq!(csr.transpose().transpose(), csr);
+    }
+
+    #[test]
+    fn overlap_partition_property(
+        base in sym_graph(24, 60),
+        extra_a in sym_graph(24, 20),
+        extra_b in sym_graph(24, 20),
+    ) {
+        // Build two snapshots sharing `base`: overlap ⊇ base; and overlap ∪
+        // exclusive reassembles each snapshot with disjoint edge sets.
+        let n = base.n_rows().max(extra_a.n_rows()).max(extra_b.n_rows());
+        let grow = |g: &Csr, extra: &Csr| {
+            let mut e = g.edges();
+            e.extend(extra.edges().into_iter().filter(|&(u, v)| (u as usize) < n && (v as usize) < n));
+            Csr::from_edges(n, n, &e)
+        };
+        let pad = |g: &Csr| Csr::from_edges(n, n, &g.edges());
+        let a = grow(&pad(&base), &extra_a);
+        let b = grow(&pad(&base), &extra_b);
+        let split = extract_overlap(&[&a, &b]);
+        // overlap contains every base edge
+        for (u, v) in pad(&base).edges() {
+            prop_assert!(split.overlap.contains(u, v));
+        }
+        // reassembly is exact and disjoint
+        for (i, snap) in [&a, &b].into_iter().enumerate() {
+            prop_assert_eq!(&split.reassemble(i), snap);
+            let ov: HashSet<_> = split.overlap.edges().into_iter().collect();
+            for e in split.exclusives[i].edges() {
+                prop_assert!(!ov.contains(&e), "exclusive edge also in overlap");
+            }
+        }
+    }
+
+    #[test]
+    fn graph_diff_applies((nv, es1) in edges(30, 80), es2 in proptest::collection::vec((0u32..30, 0u32..30), 0..80)) {
+        let a = Csr::from_edges(nv as usize, nv as usize, &es1);
+        let es2: Vec<(u32,u32)> = es2.into_iter().filter(|&(u,v)| u < nv && v < nv).collect();
+        let b = Csr::from_edges(nv as usize, nv as usize, &es2);
+        let (added, removed) = graph_diff(&a, &b);
+        let mut edges: Vec<(u32, u32)> =
+            a.edges().into_iter().filter(|e| !removed.contains(e)).collect();
+        edges.extend(added);
+        prop_assert_eq!(Csr::from_edges(nv as usize, nv as usize, &edges), b);
+    }
+
+    #[test]
+    fn all_aggregation_kernels_agree(
+        adj in sym_graph(24, 80),
+        dim in 1usize..20,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = pipad_repro::tensor::seeded_rng(seed);
+        let x = pipad_repro::tensor::uniform(&mut rng, adj.n_rows(), dim, 1.0);
+        let expect = adj.spmm_dense(&x);
+
+        let mut gpu = Gpu::new(DeviceConfig::v100());
+        let s = gpu.default_stream();
+        let shared = Rc::new(adj.clone());
+        let dcsr = upload_csr(&mut gpu, s, Rc::clone(&shared), true).unwrap();
+        let dx = upload_matrix(&mut gpu, s, &x, true).unwrap();
+        let y1 = spmm_coo_scatter(&mut gpu, s, &dcsr, &dx).unwrap();
+        let y2 = spmm_gespmm(&mut gpu, s, &dcsr, &dx).unwrap();
+        let sliced = Rc::new(SlicedCsr::from_csr(&adj));
+        let dsl = upload_sliced(&mut gpu, s, sliced, true).unwrap();
+        let y3 = spmm_sliced_parallel(&mut gpu, s, &dsl, &dx, 1).unwrap();
+        prop_assert!(y1.host().approx_eq(&expect, 1e-3));
+        prop_assert!(y2.host().approx_eq(&expect, 1e-3));
+        prop_assert!(y3.host().approx_eq(&expect, 1e-3));
+    }
+
+    #[test]
+    fn parallel_aggregation_equals_per_snapshot(
+        adj in sym_graph(20, 60),
+        s_per in 2usize..5,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = pipad_repro::tensor::seeded_rng(seed);
+        let dim = 3usize;
+        let feats: Vec<Matrix> = (0..s_per)
+            .map(|_| pipad_repro::tensor::uniform(&mut rng, adj.n_rows(), dim, 1.0))
+            .collect();
+        let refs: Vec<&Matrix> = feats.iter().collect();
+        let co = Matrix::concat_cols(&refs);
+
+        let mut gpu = Gpu::new(DeviceConfig::v100());
+        let s = gpu.default_stream();
+        let sliced = Rc::new(SlicedCsr::from_csr(&adj));
+        let dsl = upload_sliced(&mut gpu, s, sliced, true).unwrap();
+        let dco = upload_matrix(&mut gpu, s, &co, true).unwrap();
+        let out = spmm_sliced_parallel(&mut gpu, s, &dsl, &dco, s_per).unwrap();
+        let parts = out.host().split_cols(s_per);
+        for (p, x) in parts.iter().zip(&feats) {
+            prop_assert!(p.approx_eq(&adj.spmm_dense(x), 1e-3));
+        }
+    }
+
+    #[test]
+    fn schedule_makespan_bounds(work in proptest::collection::vec(0u64..1000, 1..200), slots in 1usize..64) {
+        let r = schedule_blocks(&work, slots);
+        let total: u64 = work.iter().sum();
+        let max = work.iter().copied().max().unwrap_or(0);
+        // classical list-scheduling bounds
+        prop_assert!(r.makespan >= total.div_ceil(slots as u64).min(total));
+        prop_assert!(r.makespan >= max);
+        if total > 0 {
+            prop_assert!(r.makespan <= total);
+            prop_assert!(r.factor() >= 1.0);
+            // Graham bound: ≤ 2 × OPT for list scheduling
+            prop_assert!(r.makespan <= 2 * (total / slots as u64 + max));
+        }
+    }
+
+    #[test]
+    fn sim_time_is_monotone_in_work(flops in 1u64..1_000_000_000, extra in 1u64..1_000_000_000) {
+        let cfg = DeviceConfig::v100();
+        let a = SimNanos::from_units(flops, cfg.flops_per_ns);
+        let b = SimNanos::from_units(flops + extra, cfg.flops_per_ns);
+        prop_assert!(b >= a);
+    }
+
+    #[test]
+    fn matrix_concat_split_inverse(
+        rows in 1usize..20,
+        cols in 1usize..8,
+        parts in 1usize..5,
+        seed in 0u64..100,
+    ) {
+        let mut rng = pipad_repro::tensor::seeded_rng(seed);
+        let mats: Vec<Matrix> = (0..parts)
+            .map(|_| pipad_repro::tensor::uniform(&mut rng, rows, cols, 1.0))
+            .collect();
+        let refs: Vec<&Matrix> = mats.iter().collect();
+        let cat = Matrix::concat_cols(&refs);
+        let back = cat.split_cols(parts);
+        for (a, b) in back.iter().zip(&mats) {
+            prop_assert_eq!(a, b);
+        }
+        let rcat = Matrix::concat_rows(&refs);
+        for (i, m) in mats.iter().enumerate() {
+            prop_assert_eq!(&rcat.slice_rows(i * rows, (i + 1) * rows), m);
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! Integration-level properties of the simulated device: timeline
+//! causality, stream/event semantics, profiler window consistency and the
+//! §3.2 access-shape laws, exercised through the public APIs the trainers
+//! use.
+
+use pipad_repro::gpu_sim::{
+    feature_row_access, DeviceConfig, Gpu, KernelCategory, KernelCost, SimNanos, VectorWidth,
+};
+use proptest::prelude::*;
+
+fn kernel(flops: u64, txns: u64) -> KernelCost {
+    KernelCost::new("k", KernelCategory::Other)
+        .flops(flops)
+        .gmem(txns / 4 + 1, txns)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn launches_never_go_back_in_time(work in proptest::collection::vec((1u64..1_000_000, 1u64..100_000), 1..40)) {
+        let mut gpu = Gpu::new(DeviceConfig::v100());
+        let s = gpu.default_stream();
+        let mut last = SimNanos::ZERO;
+        for (flops, txns) in work {
+            let e = gpu.launch(s, kernel(flops, txns));
+            prop_assert!(e.time() > last, "timeline must advance");
+            last = e.time();
+        }
+        // the profiler's samples are ordered and non-overlapping on the
+        // compute lane
+        let samples = gpu.profiler().samples();
+        for w in samples.windows(2) {
+            prop_assert!(w[1].start >= w[0].end);
+        }
+    }
+
+    #[test]
+    fn event_sync_is_a_lower_bound(bytes in 1u64..10_000_000) {
+        let mut gpu = Gpu::new(DeviceConfig::v100());
+        let a = gpu.default_stream();
+        let b = gpu.create_stream();
+        let t = gpu.h2d(b, bytes, true);
+        let ev = gpu.record_event(b);
+        gpu.wait_event(a, ev);
+        let k = gpu.launch(a, kernel(1000, 10));
+        prop_assert!(k.time() > t.time());
+    }
+
+    #[test]
+    fn window_totals_are_additive(n1 in 1usize..20, n2 in 1usize..20) {
+        let mut gpu = Gpu::new(DeviceConfig::v100());
+        let s = gpu.default_stream();
+        let start = gpu.profiler().snapshot();
+        for _ in 0..n1 {
+            gpu.launch(s, kernel(5000, 100));
+        }
+        let mid = gpu.profiler().snapshot();
+        for _ in 0..n2 {
+            gpu.launch(s, kernel(5000, 100));
+        }
+        let all = gpu.profiler().window(start);
+        let first = gpu.profiler().between(start, mid);
+        let second = gpu.profiler().window(mid);
+        prop_assert_eq!(all.kernel_launches, first.kernel_launches + second.kernel_launches);
+        prop_assert_eq!(
+            all.gmem_transactions,
+            first.gmem_transactions + second.gmem_transactions
+        );
+        prop_assert_eq!(
+            all.compute_total.as_nanos(),
+            first.compute_total.as_nanos() + second.compute_total.as_nanos()
+        );
+    }
+
+    #[test]
+    fn access_shape_laws(dim in 1u32..512) {
+        let cfg = DeviceConfig::v100();
+        let a = feature_row_access(&cfg, dim, VectorWidth::W1);
+        // moved bytes never below useful bytes; both multiples of rules
+        prop_assert!(a.moved_bytes >= a.useful_bytes);
+        prop_assert_eq!(a.moved_bytes % cfg.transaction_bytes as u64, 0);
+        prop_assert!(a.requests >= 1 && a.transactions >= 1);
+        // §3.2 knees
+        if dim <= 8 {
+            prop_assert_eq!(a.transactions, 1);
+        }
+        if dim <= 32 {
+            prop_assert_eq!(a.requests, 1);
+        }
+        // vector loads only reduce requests
+        let v4 = feature_row_access(&cfg, dim, VectorWidth::W4);
+        prop_assert!(v4.requests <= a.requests);
+        prop_assert_eq!(v4.transactions, a.transactions);
+    }
+
+    #[test]
+    fn transfers_respect_bandwidth_ordering(bytes in 1_000u64..50_000_000) {
+        // pinned is never slower than pageable for the same payload
+        let mut g1 = Gpu::new(DeviceConfig::v100());
+        let s1 = g1.default_stream();
+        let pinned = g1.h2d(s1, bytes, true).time();
+        let mut g2 = Gpu::new(DeviceConfig::v100());
+        let s2 = g2.default_stream();
+        let pageable = g2.h2d(s2, bytes, false).time();
+        prop_assert!(pinned <= pageable);
+    }
+
+    #[test]
+    fn memory_accounting_is_exact(sizes in proptest::collection::vec(1u64..1_000_000, 1..30)) {
+        let mut gpu = Gpu::new(DeviceConfig::v100());
+        let total: u64 = sizes.iter().sum();
+        let bufs: Vec<_> = sizes.iter().map(|&b| gpu.alloc(b).unwrap()).collect();
+        prop_assert_eq!(gpu.mem().in_use(), total);
+        prop_assert_eq!(gpu.mem().peak(), total);
+        for b in bufs {
+            gpu.free(b);
+        }
+        prop_assert_eq!(gpu.mem().in_use(), 0);
+        prop_assert_eq!(gpu.mem().peak(), total);
+    }
+}
+
+#[test]
+fn graph_scope_only_changes_overheads() {
+    let run = |graphed: bool| {
+        let mut gpu = Gpu::new(DeviceConfig::v100());
+        let s = gpu.default_stream();
+        if graphed {
+            gpu.graph_scope(s, |gpu| {
+                for _ in 0..30 {
+                    gpu.launch(s, kernel(100_000, 1000));
+                }
+            });
+        } else {
+            for _ in 0..30 {
+                gpu.launch(s, kernel(100_000, 1000));
+            }
+        }
+        let b = gpu.profiler().full();
+        (gpu.now(), b.compute_total, b.gmem_transactions)
+    };
+    let (t_graph, busy_graph, txn_graph) = run(true);
+    let (t_plain, busy_plain, txn_plain) = run(false);
+    assert!(t_graph < t_plain, "graph mode amortizes launches");
+    assert_eq!(busy_graph, busy_plain, "kernel busy time identical");
+    assert_eq!(txn_graph, txn_plain, "traffic identical");
+}
