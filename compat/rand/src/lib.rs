@@ -1,0 +1,148 @@
+//! Minimal, dependency-free stand-in for the subset of the `rand` crate
+//! this workspace uses: `rngs::StdRng`, `SeedableRng::seed_from_u64` and
+//! `Rng::gen_range` over integer and float ranges.
+//!
+//! The build environment is hermetic (no registry access), so external
+//! crates are vendored as small API-compatible stubs. The generator is a
+//! SplitMix64 stream — statistically fine for test data and dataset
+//! synthesis, deterministic per seed, and different seeds produce
+//! different streams. It is NOT the same stream as upstream `rand`, and
+//! it is not cryptographically secure.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Object-safe core: a source of uniformly distributed `u64`s.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Seedable construction, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// User-facing sampling methods, mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+}
+
+impl<T: RngCore + ?Sized> Rng for T {}
+
+/// A range that knows how to draw a uniform sample from an RNG.
+pub trait SampleRange<T> {
+    fn sample_from<G: RngCore + ?Sized>(self, rng: &mut G) -> T;
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<G: RngCore + ?Sized>(self, rng: &mut G) -> $t {
+                assert!(self.start < self.end, "empty range in gen_range");
+                let span = (self.end - self.start) as u64;
+                self.start + (rng.next_u64() % span) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from<G: RngCore + ?Sized>(self, rng: &mut G) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range in gen_range");
+                let span = (hi - lo) as u64 + 1;
+                if span == 0 {
+                    // full-width inclusive range
+                    return lo + rng.next_u64() as $t;
+                }
+                lo + (rng.next_u64() % span) as $t
+            }
+        }
+    )*};
+}
+int_sample_range!(u32, u64, usize, i32, i64);
+
+macro_rules! float_sample_range {
+    ($($t:ty, $bits:expr),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<G: RngCore + ?Sized>(self, rng: &mut G) -> $t {
+                let unit =
+                    (rng.next_u64() >> (64 - $bits)) as $t / (1u64 << $bits) as $t;
+                self.start + unit * (self.end - self.start)
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from<G: RngCore + ?Sized>(self, rng: &mut G) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                let unit =
+                    (rng.next_u64() >> (64 - $bits)) as $t / ((1u64 << $bits) - 1) as $t;
+                lo + unit * (hi - lo)
+            }
+        }
+    )*};
+}
+float_sample_range!(f32, 24, f64, 53);
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// SplitMix64-backed replacement for `rand::rngs::StdRng`.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // Pre-mix once so nearby seeds do not produce nearby first draws.
+            let mut rng = StdRng {
+                state: seed ^ 0x5851_F42D_4C95_7F2D,
+            };
+            rng.next_u64();
+            rng
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_and_seed_sensitive() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        let mut c = StdRng::seed_from_u64(43);
+        let xa: Vec<u32> = (0..8).map(|_| a.gen_range(0u32..1000)).collect();
+        let xb: Vec<u32> = (0..8).map(|_| b.gen_range(0u32..1000)).collect();
+        let xc: Vec<u32> = (0..8).map(|_| c.gen_range(0u32..1000)).collect();
+        assert_eq!(xa, xb);
+        assert_ne!(xa, xc);
+    }
+
+    #[test]
+    fn ranges_respected() {
+        let mut r = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let u = r.gen_range(3usize..17);
+            assert!((3..17).contains(&u));
+            let f: f32 = r.gen_range(-2.0f32..=2.0);
+            assert!((-2.0..=2.0).contains(&f));
+            let d: f64 = r.gen_range(0.0f64..5.0);
+            assert!((0.0..5.0).contains(&d));
+        }
+    }
+}

@@ -1,0 +1,14 @@
+//! Minimal stand-in for `serde` so the workspace builds hermetically
+//! (the build environment has no registry access). The workspace uses
+//! serde only as `#[derive(Serialize, Deserialize)]` annotations on config
+//! structs — nothing is actually serialized at runtime — so the traits are
+//! empty markers and the derives (see `serde_derive`) expand to nothing.
+
+/// Marker trait mirroring `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

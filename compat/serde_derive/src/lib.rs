@@ -1,0 +1,16 @@
+//! No-op `#[derive(Serialize)]` / `#[derive(Deserialize)]` macros for the
+//! hermetic in-tree serde stand-in. The workspace only uses serde derives
+//! as documentation of intent (no (de)serialization happens at runtime),
+//! so the derives expand to nothing.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

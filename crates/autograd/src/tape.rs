@@ -3,6 +3,7 @@
 use pipad_gpu_sim::{Gpu, KernelCategory, OomError, StreamId};
 use pipad_kernels as k;
 use pipad_kernels::DeviceMatrix;
+use pipad_pool as pool;
 use pipad_sparse::{Csr, SlicedCsr};
 use pipad_tensor::Matrix;
 use std::cell::{Ref, RefCell};
@@ -352,12 +353,22 @@ impl Tape {
                     let part = k::spmm_sliced_parallel(gpu, s, &handle, &dx, 1)?;
                     drop(dx);
                     let mut merged = acc.host().clone();
-                    for r in 0..merged.rows() {
-                        let dst = &mut merged.row_mut(r)[col..col + width];
-                        for (d, &v) in dst.iter_mut().zip(part.host().row(r)) {
-                            *d += v;
+                    let n_rows = merged.rows();
+                    let n_cols = merged.cols();
+                    let ph = part.host();
+                    let shared = pool::DisjointMut::new(merged.as_mut_slice());
+                    let min_rows = (1usize << 15).div_ceil(width.max(1)).max(1);
+                    pool::parallel_for(n_rows, min_rows, |rows| {
+                        for r in rows {
+                            // SAFETY: bands cover disjoint row ranges.
+                            let row =
+                                unsafe { shared.slice(r * n_cols..(r + 1) * n_cols) };
+                            let dst = &mut row[col..col + width];
+                            for (d, &v) in dst.iter_mut().zip(ph.row(r)) {
+                                *d += v;
+                            }
                         }
-                    }
+                    });
                     part.free(gpu);
                     acc.store(merged);
                 }

@@ -15,13 +15,14 @@
 //!   fig11    parallel-GNN detailed analysis + thread utilization
 //!   fig12    sliced-CSR load balance + ablation speedup
 //!   ablation hardware-sensitivity + per-mechanism ablations (extension)
+//!   host_parallel  serial-vs-pool wall-clock of the host numerics layer
 //!   all      everything (one grid pass shared by fig10/table2)
 //! ```
 //!
 //! Results print to stdout and are written to `<out>/<name>.txt`
 //! (default `results/`).
 
-use pipad_bench::{ablation, breakdown, fig11, fig12, fig5, fig9, grid, table1, RunScale};
+use pipad_bench::{ablation, breakdown, fig11, fig12, fig5, fig9, grid, host_parallel, table1, RunScale};
 use std::fs;
 use std::path::PathBuf;
 use std::time::Instant;
@@ -123,6 +124,18 @@ fn main() {
         }
         "fig12" => emit(&args.out_dir, "fig12", &fig12::run(args.scale)),
         "ablation" => emit(&args.out_dir, "ablation", &ablation::run(args.scale)),
+        "host_parallel" => {
+            let nodes = match args.scale {
+                RunScale::Tiny => 512,
+                RunScale::Laptop => 4096,
+            };
+            let rows = host_parallel::measure(nodes);
+            emit(&args.out_dir, "host_parallel", &host_parallel::render(&rows));
+            fs::create_dir_all(&args.out_dir).ok();
+            let path = args.out_dir.join("host_parallel.json");
+            fs::write(&path, host_parallel::render_json(&rows)).expect("write host_parallel.json");
+            eprintln!("[repro] wrote {}", path.display());
+        }
         "all" => {
             emit(&args.out_dir, "table1", &table1::run(args.scale));
             let rows = breakdown::measure(args.scale);

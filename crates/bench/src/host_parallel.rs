@@ -1,0 +1,184 @@
+//! Host-parallel execution layer benchmark: serial (1 thread) vs the
+//! persistent worker pool, wall-clock, on the host-numerics hot paths —
+//! GEMM at GNN update shapes and the sliced-CSR parallel aggregation at
+//! Figure 9 shapes.
+//!
+//! This measures *real* host time (`std::time::Instant`), not simulated
+//! device time; the simulated-time metrics are bit-identical at every
+//! thread count by construction (see `tests/host_parallel_exactness.rs`).
+//! Results are written as JSON so CI on a multi-core box can assert the
+//! pool speedup.
+
+use crate::fig9::DIM_SWEEP;
+use pipad_gpu_sim::{DeviceConfig, Gpu};
+use pipad_kernels::{spmm_sliced_parallel, DeviceMatrix, DeviceSliced};
+use pipad_pool::{max_threads, with_threads};
+use pipad_sparse::{Csr, SlicedCsr};
+use pipad_tensor::{gemm, Matrix};
+use std::fmt::Write;
+use std::rc::Rc;
+use std::time::Instant;
+
+/// One timed workload.
+pub struct BenchRow {
+    /// Workload label, e.g. `gemm 8192x64x64`.
+    pub name: String,
+    /// Serial wall-clock per iteration (ms), `PIPAD_THREADS=1` equivalent.
+    pub serial_ms: f64,
+    /// Pool wall-clock per iteration (ms) at the ambient thread count.
+    pub parallel_ms: f64,
+}
+
+impl BenchRow {
+    /// Serial/pool wall-clock ratio.
+    pub fn speedup(&self) -> f64 {
+        self.serial_ms / self.parallel_ms.max(1e-9)
+    }
+}
+
+fn time_ms(iters: usize, mut f: impl FnMut()) -> f64 {
+    f(); // warm-up (also first-touches the pool)
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    t0.elapsed().as_secs_f64() * 1e3 / iters as f64
+}
+
+fn det_matrix(rows: usize, cols: usize, salt: u64) -> Matrix {
+    Matrix::from_fn(rows, cols, |r, c| {
+        let mut z = (r as u64) << 32 | (c as u64) ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        ((z >> 40) as f32 / (1u64 << 24) as f32) - 0.5
+    })
+}
+
+fn det_graph(n: usize, deg: usize, salt: u64) -> Csr {
+    let mut edges = Vec::with_capacity(n * deg);
+    for r in 0..n as u64 {
+        for d in 0..deg as u64 {
+            let c = r
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(d.wrapping_mul(salt | 1))
+                % n as u64;
+            edges.push((r as u32, c as u32));
+        }
+    }
+    edges.sort_unstable();
+    edges.dedup();
+    Csr::from_edges(n, n, &edges)
+}
+
+fn bench_pair(iters: usize, f: impl Fn()) -> (f64, f64) {
+    let serial = with_threads(1, || time_ms(iters, || f()));
+    let parallel = time_ms(iters, || f());
+    (serial, parallel)
+}
+
+/// Run the benchmark. `nodes` scales the synthetic workloads (the default
+/// binary uses 4096).
+pub fn measure(nodes: usize) -> Vec<BenchRow> {
+    let mut rows = Vec::new();
+
+    // GEMM at the GNN update shapes Figure 9 sweeps (feature dimension).
+    for &d in &[*DIM_SWEEP.last().unwrap(), 128] {
+        let a = det_matrix(nodes, d, 1);
+        let b = det_matrix(d, d, 2);
+        let (serial_ms, parallel_ms) = bench_pair(8, || {
+            std::hint::black_box(gemm(&a, &b));
+        });
+        rows.push(BenchRow {
+            name: format!("gemm {nodes}x{d}x{d}"),
+            serial_ms,
+            parallel_ms,
+        });
+    }
+
+    // Sliced-CSR parallel aggregation (Algorithm 1) at Figure 9's
+    // feature-dimension sweep end, S_per ∈ {2, 4}.
+    for &s_per in &[2usize, 4] {
+        let d = *DIM_SWEEP.last().unwrap();
+        let adj = Rc::new(SlicedCsr::from_csr(&det_graph(nodes, 8, 3)));
+        let coalesced = det_matrix(nodes, d * s_per, 4);
+        let mut gpu = Gpu::new(DeviceConfig::v100());
+        let s = gpu.default_stream();
+        let handle = DeviceSliced::resident(Rc::clone(&adj));
+        let dm = DeviceMatrix::alloc(&mut gpu, coalesced).expect("alloc");
+        let gpu = std::cell::RefCell::new(gpu);
+        let (serial_ms, parallel_ms) = bench_pair(8, || {
+            let mut g = gpu.borrow_mut();
+            let out = spmm_sliced_parallel(&mut g, s, &handle, &dm, s_per).expect("spmm");
+            out.free(&mut g);
+        });
+        rows.push(BenchRow {
+            name: format!("sliced_spmm {nodes}n x{d}f s_per={s_per}"),
+            serial_ms,
+            parallel_ms,
+        });
+    }
+
+    rows
+}
+
+/// Render the human-readable report.
+pub fn render(rows: &[BenchRow]) -> String {
+    let mut out = String::new();
+    writeln!(
+        out,
+        "host-parallel layer: serial vs pool ({} host threads)",
+        max_threads()
+    )
+    .unwrap();
+    for r in rows {
+        writeln!(
+            out,
+            "  {:<32} serial {:>8.3} ms  pool {:>8.3} ms  speedup {:>5.2}x",
+            r.name,
+            r.serial_ms,
+            r.parallel_ms,
+            r.speedup()
+        )
+        .unwrap();
+    }
+    out
+}
+
+/// Render the JSON artifact (`results/host_parallel.json`).
+pub fn render_json(rows: &[BenchRow]) -> String {
+    let mut out = String::from("{\n");
+    writeln!(out, "  \"host_threads\": {},", max_threads()).unwrap();
+    out.push_str("  \"workloads\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        write!(
+            out,
+            "    {{\"name\": \"{}\", \"serial_ms\": {:.4}, \"parallel_ms\": {:.4}, \"speedup\": {:.4}}}",
+            r.name,
+            r.serial_ms,
+            r.parallel_ms,
+            r.speedup()
+        )
+        .unwrap();
+    }
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_produces_valid_rows_and_json() {
+        let rows = measure(256);
+        assert_eq!(rows.len(), 4);
+        for r in &rows {
+            assert!(r.serial_ms > 0.0 && r.parallel_ms > 0.0, "{}", r.name);
+        }
+        let json = render_json(&rows);
+        assert!(json.contains("\"host_threads\""));
+        assert!(json.contains("\"speedup\""));
+    }
+}

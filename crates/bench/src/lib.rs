@@ -28,6 +28,7 @@ pub mod fig12;
 pub mod fig5;
 pub mod fig9;
 pub mod grid;
+pub mod host_parallel;
 pub mod table1;
 pub mod util;
 

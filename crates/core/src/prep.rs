@@ -60,6 +60,10 @@ impl PartitionCatalog {
     ) -> Self {
         let n = analyzer.len();
         let mut plans = HashMap::new();
+        // Pass 1 (serial): enumerate work items and charge the host lane in
+        // the original order, so simulated time is byte-identical at every
+        // thread count.
+        let mut work: Vec<(usize, usize, Vec<&pipad_sparse::Csr>)> = Vec::new();
         for &s_per in &S_PER_OPTIONS {
             if s_per > n {
                 continue;
@@ -74,30 +78,46 @@ impl PartitionCatalog {
                 );
                 let (_, end) = gpu.host_op("overlap_extraction", *host_cursor, cost);
                 *host_cursor = end;
-
-                let split = extract_overlap(&members);
-                let mean_edges = (total_edges as f64 / s_per as f64).max(1.0);
-                let overlap_rate = (split.overlap.nnz() as f64 / mean_edges).min(1.0);
-                let overlap = Rc::new(SlicedCsr::from_csr(&split.overlap));
-                let exclusives: Vec<Rc<SlicedCsr>> = split
-                    .exclusives
-                    .iter()
-                    .map(|e| Rc::new(SlicedCsr::from_csr(e)))
-                    .collect();
-                let adjacency_bytes =
-                    overlap.bytes() + exclusives.iter().map(|e| e.bytes()).sum::<u64>();
-                plans.insert(
-                    (s_per, start),
-                    PartitionPlan {
-                        start,
-                        s_per,
-                        overlap,
-                        exclusives,
-                        overlap_rate,
-                        adjacency_bytes,
-                    },
-                );
+                work.push((s_per, start, members));
             }
+        }
+        // Pass 2: the actual extraction is pure per-partition work — fan it
+        // out across the pool. `Rc` wrapping happens serially afterwards
+        // (the results cross threads, so the parallel stage returns plain
+        // owned data).
+        let extracted = pipad_pool::par_map(&work, |(s_per, _, members)| {
+            let s_per = *s_per;
+            let total_edges: usize = members.iter().map(|m| m.nnz()).sum();
+            let split = extract_overlap(members);
+            let mean_edges = (total_edges as f64 / s_per as f64).max(1.0);
+            let overlap_rate = (split.overlap.nnz() as f64 / mean_edges).min(1.0);
+            let overlap = SlicedCsr::from_csr(&split.overlap);
+            let exclusives: Vec<SlicedCsr> = split
+                .exclusives
+                .iter()
+                .map(SlicedCsr::from_csr)
+                .collect();
+            (overlap, exclusives, overlap_rate)
+        });
+        for ((s_per, start, _), (overlap, exclusives, overlap_rate)) in
+            work.iter().zip(extracted)
+        {
+            let (s_per, start) = (*s_per, *start);
+            let overlap = Rc::new(overlap);
+            let exclusives: Vec<Rc<SlicedCsr>> = exclusives.into_iter().map(Rc::new).collect();
+            let adjacency_bytes =
+                overlap.bytes() + exclusives.iter().map(|e| e.bytes()).sum::<u64>();
+            plans.insert(
+                (s_per, start),
+                PartitionPlan {
+                    start,
+                    s_per,
+                    overlap,
+                    exclusives,
+                    overlap_rate,
+                    adjacency_bytes,
+                },
+            );
         }
         PartitionCatalog {
             plans,

@@ -18,14 +18,25 @@
 //! survives attention, only the shared-value multiply does not.
 
 use crate::device_data::{DeviceCsr, DeviceMatrix, DeviceSliced};
+use crate::spmm::{row_aligned_slice_bands, HOST_PAR_THRESHOLD};
 use pipad_gpu_sim::{
     feature_row_access, Gpu, KernelCategory, KernelCost, OomError, StreamId, VectorWidth,
 };
+use pipad_pool as pool;
 use pipad_sparse::balance::{csr_block_work, sliced_block_work};
 use pipad_tensor::Matrix;
 use std::rc::Rc;
 
 const WARPS_PER_BLOCK: usize = 4;
+
+/// Row-band floor: one band below this much per-edge work.
+fn min_rows_for(csr_rows: usize, work: usize) -> usize {
+    if work >= HOST_PAR_THRESHOLD {
+        1
+    } else {
+        csr_rows.max(1)
+    }
+}
 
 /// Raw attention logits per edge: `e[k] = leaky_relu(l[src] + r[dst])` for
 /// the k-th nonzero (src = row, dst = col of the CSR entry).
@@ -55,13 +66,28 @@ pub fn edge_scores(
         .uniform_blocks(nnz.div_ceil(128).max(1) as usize, 128);
     gpu.launch(stream, cost);
 
-    let mut out = Vec::with_capacity(csr.nnz());
-    for r in 0..csr.n_rows() {
-        for &c in csr.row(r) {
-            let e = left.host()[(r, 0)] + right.host()[(c as usize, 0)];
-            out.push(if e > 0.0 { e } else { negative_slope * e });
-        }
-    }
+    // Each CSR row owns the disjoint score segment
+    // `offsets[r]..offsets[r+1]`, so rows band across the pool with the
+    // exact serial per-edge order.
+    let mut out = vec![0.0f32; csr.nnz()];
+    let offsets = csr.row_offsets();
+    let (lh, rh) = (left.host(), right.host());
+    let shared = pool::DisjointMut::new(&mut out);
+    pool::parallel_for(
+        csr.n_rows(),
+        min_rows_for(csr.n_rows(), csr.nnz()),
+        |rows| {
+            for r in rows {
+                let (s, e) = (offsets[r] as usize, offsets[r + 1] as usize);
+                // SAFETY: bands own disjoint row ranges → disjoint segments.
+                let dst = unsafe { shared.slice(s..e) };
+                for (o, &c) in dst.iter_mut().zip(csr.row(r)) {
+                    let ev = lh[(r, 0)] + rh[(c as usize, 0)];
+                    *o = if ev > 0.0 { ev } else { negative_slope * ev };
+                }
+            }
+        },
+    );
     out
 }
 
@@ -83,23 +109,34 @@ pub fn edge_softmax(
         .blocks(csr_block_work(csr, WARPS_PER_BLOCK));
     gpu.launch(stream, cost);
 
+    // Segment softmax is independent per destination row; rows band
+    // across the pool writing disjoint `offsets[r]..offsets[r+1]` spans.
     let mut out = vec![0.0f32; scores.len()];
     let offsets = csr.row_offsets();
-    for r in 0..csr.n_rows() {
-        let (s, e) = (offsets[r] as usize, offsets[r + 1] as usize);
-        if s == e {
-            continue;
-        }
-        let max = scores[s..e].iter().fold(f32::NEG_INFINITY, |m, &v| m.max(v));
-        let mut denom = 0.0;
-        for i in s..e {
-            out[i] = (scores[i] - max).exp();
-            denom += out[i];
-        }
-        for v in &mut out[s..e] {
-            *v /= denom.max(1e-12);
-        }
-    }
+    let shared = pool::DisjointMut::new(&mut out);
+    pool::parallel_for(
+        csr.n_rows(),
+        min_rows_for(csr.n_rows(), csr.nnz()),
+        |rows| {
+            for r in rows {
+                let (s, e) = (offsets[r] as usize, offsets[r + 1] as usize);
+                if s == e {
+                    continue;
+                }
+                // SAFETY: bands own disjoint row ranges → disjoint segments.
+                let seg = unsafe { shared.slice(s..e) };
+                let max = scores[s..e].iter().fold(f32::NEG_INFINITY, |m, &v| m.max(v));
+                let mut denom = 0.0;
+                for (o, &sv) in seg.iter_mut().zip(&scores[s..e]) {
+                    *o = (sv - max).exp();
+                    denom += *o;
+                }
+                for v in seg {
+                    *v /= denom.max(1e-12);
+                }
+            }
+        },
+    );
     out
 }
 
@@ -129,18 +166,32 @@ pub fn spmm_weighted(
         .blocks(csr_block_work(csr, WARPS_PER_BLOCK));
     gpu.launch(stream, cost);
 
-    let mut out = Matrix::zeros(csr.n_rows(), x.cols());
-    let mut k = 0usize;
-    for r in 0..csr.n_rows() {
-        let out_row = out.row_mut(r);
-        for &c in csr.row(r) {
-            let w = values[k];
-            k += 1;
-            for (o, &v) in out_row.iter_mut().zip(x.host().row(c as usize)) {
-                *o += w * v;
+    // Row-banded: the running value cursor of the serial loop is simply
+    // `offsets[r]` at the start of each row, so bands replay the exact
+    // serial accumulation order per output row.
+    let n_cols = x.cols();
+    let mut out = Matrix::zeros(csr.n_rows(), n_cols);
+    let offsets = csr.row_offsets();
+    let xh = x.host();
+    let shared = pool::DisjointMut::new(out.as_mut_slice());
+    pool::parallel_for(
+        csr.n_rows(),
+        min_rows_for(csr.n_rows(), csr.nnz() * n_cols.max(1)),
+        |rows| {
+            for r in rows {
+                // SAFETY: bands own disjoint output-row ranges.
+                let out_row = unsafe { shared.slice(r * n_cols..(r + 1) * n_cols) };
+                let mut k = offsets[r] as usize;
+                for &c in csr.row(r) {
+                    let w = values[k];
+                    k += 1;
+                    for (o, &v) in out_row.iter_mut().zip(xh.row(c as usize)) {
+                        *o += w * v;
+                    }
+                }
             }
-        }
-    }
+        },
+    );
     DeviceMatrix::alloc(gpu, out)
 }
 
@@ -187,21 +238,55 @@ pub fn spmm_sliced_parallel_values(
         ));
     gpu.launch(stream, cost);
 
-    let mut out = Matrix::zeros(sliced.n_rows(), coalesced.cols());
-    let mut k = 0usize;
-    for (row, cols, _) in sliced.slices() {
-        for &c in cols {
-            let out_row = out.row_mut(row as usize);
-            for (m, vals) in member_values.iter().enumerate() {
-                let w = vals[k];
-                let src = &coalesced.host().row(c as usize)[m * feat_dim..(m + 1) * feat_dim];
-                let dst = &mut out_row[m * feat_dim..(m + 1) * feat_dim];
-                for (o, &v) in dst.iter_mut().zip(src) {
-                    *o += w * v;
+    // `Rc` is not `Sync`; borrow the value slices before fanning out.
+    let members: Vec<&[f32]> = member_values.iter().map(|v| v.as_slice()).collect();
+    // The serial loop's running nonzero cursor is the slice's offset, so
+    // precompute per-slice offsets and band on row-aligned slice ranges
+    // (slices of one row must stay in one band — they share an output
+    // row). Bit-identical to the serial traversal.
+    let mut slice_starts = Vec::with_capacity(sliced.n_slices() + 1);
+    slice_starts.push(0usize);
+    for sz in sliced.slice_sizes() {
+        slice_starts.push(slice_starts.last().unwrap() + sz as usize);
+    }
+    let width = coalesced.cols();
+    let mut out = Matrix::zeros(sliced.n_rows(), width);
+    let n_bands = if sliced.nnz() * fprime as usize >= HOST_PAR_THRESHOLD {
+        pool::bands(sliced.n_slices(), 1)
+    } else {
+        1
+    };
+    let aligned = if n_bands > 1 {
+        row_aligned_slice_bands(sliced, n_bands)
+    } else {
+        None
+    };
+    let ch = coalesced.host();
+    let shared = pool::DisjointMut::new(out.as_mut_slice());
+    let run_slices = |slice_range: std::ops::Range<usize>| {
+        for i in slice_range {
+            let (row, cols, _) = sliced.slice(i);
+            let row = row as usize;
+            // SAFETY: row-aligned bands own disjoint output rows, so only
+            // this band materializes `&mut` views of this row.
+            let out_row = unsafe { shared.slice(row * width..(row + 1) * width) };
+            let mut k = slice_starts[i];
+            for &c in cols {
+                for (m, vals) in members.iter().enumerate() {
+                    let w = vals[k];
+                    let src = &ch.row(c as usize)[m * feat_dim..(m + 1) * feat_dim];
+                    let dst = &mut out_row[m * feat_dim..(m + 1) * feat_dim];
+                    for (o, &v) in dst.iter_mut().zip(src) {
+                        *o += w * v;
+                    }
                 }
+                k += 1;
             }
-            k += 1;
         }
+    };
+    match aligned {
+        Some(bands) => pool::parallel_bands(bands.len(), |b| run_slices(bands[b].clone())),
+        None => run_slices(0..sliced.n_slices()),
     }
     DeviceMatrix::alloc(gpu, out)
 }

@@ -6,7 +6,17 @@
 
 use crate::device_data::DeviceMatrix;
 use pipad_gpu_sim::{Gpu, KernelCategory, KernelCost, OomError, StreamId};
+use pipad_pool as pool;
 use pipad_tensor::Matrix;
+
+/// Minimum elements before a row-broadcast kernel fans out to the pool.
+const HOST_ELEMS_PER_BAND: usize = 1 << 15;
+
+/// Rows per band so each band touches at least [`HOST_ELEMS_PER_BAND`]
+/// elements.
+fn rows_per_band(cols: usize) -> usize {
+    HOST_ELEMS_PER_BAND.div_ceil(cols.max(1)).max(1)
+}
 
 /// Elements processed per thread block in the cost model.
 const ELEMS_PER_BLOCK: u64 = 4096;
@@ -33,7 +43,7 @@ fn unary(
     category: KernelCategory,
     x: &DeviceMatrix,
     flops: u64,
-    f: impl Fn(f32) -> f32,
+    f: impl Fn(f32) -> f32 + Sync,
 ) -> Result<DeviceMatrix, OomError> {
     let n = x.host().len() as u64;
     gpu.launch(stream, streaming_cost(name, category, n, n, flops));
@@ -47,7 +57,7 @@ fn binary(
     category: KernelCategory,
     a: &DeviceMatrix,
     b: &DeviceMatrix,
-    f: impl Fn(f32, f32) -> f32,
+    f: impl Fn(f32, f32) -> f32 + Sync,
 ) -> Result<DeviceMatrix, OomError> {
     let n = a.host().len() as u64;
     gpu.launch(stream, streaming_cost(name, category, 2 * n, n, 1));
@@ -113,8 +123,23 @@ pub fn add_bias(
         stream,
         streaming_cost("add_bias", category, n + bias.cols() as u64, n, 1),
     );
-    let out = Matrix::from_fn(a.rows(), a.cols(), |r, c| {
-        a.host()[(r, c)] + bias.host()[(0, c)]
+    let (rows, cols) = (a.rows(), a.cols());
+    let mut out = Matrix::zeros(rows, cols);
+    let src = a.host().as_slice();
+    let b_row = bias.host().row(0);
+    let shared = pool::DisjointMut::new(out.as_mut_slice());
+    pool::parallel_for(rows, rows_per_band(cols), |row_range| {
+        for r in row_range {
+            // SAFETY: bands own disjoint output-row ranges.
+            let dst = unsafe { shared.slice(r * cols..(r + 1) * cols) };
+            for ((d, &x), &bv) in dst
+                .iter_mut()
+                .zip(&src[r * cols..(r + 1) * cols])
+                .zip(b_row)
+            {
+                *d = x + bv;
+            }
+        }
     });
     DeviceMatrix::alloc(gpu, out)
 }
@@ -210,7 +235,20 @@ pub fn row_scale(
         stream,
         streaming_cost("row_scale", category, n + x.rows() as u64, n, 1),
     );
-    let out = Matrix::from_fn(x.rows(), x.cols(), |r, c| x.host()[(r, c)] * factors[r]);
+    let (rows, cols) = (x.rows(), x.cols());
+    let mut out = Matrix::zeros(rows, cols);
+    let src = x.host().as_slice();
+    let shared = pool::DisjointMut::new(out.as_mut_slice());
+    pool::parallel_for(rows, rows_per_band(cols), |row_range| {
+        for r in row_range {
+            // SAFETY: bands own disjoint output-row ranges.
+            let dst = unsafe { shared.slice(r * cols..(r + 1) * cols) };
+            let s = factors[r];
+            for (d, &x) in dst.iter_mut().zip(&src[r * cols..(r + 1) * cols]) {
+                *d = x * s;
+            }
+        }
+    });
     DeviceMatrix::alloc(gpu, out)
 }
 
@@ -277,8 +315,24 @@ pub fn row_scale_multi(
             1,
         ),
     );
-    let out = Matrix::from_fn(x.rows(), x.cols(), |r, c| {
-        x.host()[(r, c)] * factors[c / width][r]
+    // `Rc` is not `Sync`; borrow the underlying slices before fanning out.
+    let members: Vec<&[f32]> = factors.iter().map(|f| f.as_slice()).collect();
+    let (rows, cols) = (x.rows(), x.cols());
+    let mut out = Matrix::zeros(rows, cols);
+    let src = x.host().as_slice();
+    let shared = pool::DisjointMut::new(out.as_mut_slice());
+    pool::parallel_for(rows, rows_per_band(cols), |row_range| {
+        for r in row_range {
+            // SAFETY: bands own disjoint output-row ranges.
+            let dst = unsafe { shared.slice(r * cols..(r + 1) * cols) };
+            for (c, (d, &x)) in dst
+                .iter_mut()
+                .zip(&src[r * cols..(r + 1) * cols])
+                .enumerate()
+            {
+                *d = x * members[c / width][r];
+            }
+        }
     });
     DeviceMatrix::alloc(gpu, out)
 }

@@ -5,11 +5,93 @@ use crate::device_data::{DeviceCsr, DeviceMatrix, DeviceSliced};
 use pipad_gpu_sim::{
     feature_row_access, Gpu, KernelCategory, KernelCost, OomError, StreamId, VectorWidth,
 };
+use pipad_pool as pool;
 use pipad_sparse::balance::{csr_block_work, sliced_block_work};
+use pipad_sparse::SlicedCsr;
 use pipad_tensor::Matrix;
 
 /// Warps per thread block assumed by the cost model (128 threads).
 const WARPS_PER_BLOCK: usize = 4;
+
+/// Minimum `nnz × feature-dim` multiply-add volume before a host-numerics
+/// sparse loop fans out to the pool.
+pub(crate) const HOST_PAR_THRESHOLD: usize = 1 << 16;
+
+/// Band the slice index space `[0, n_slices)` into `n_bands` contiguous
+/// parts whose boundaries never split one row's run of slices — slices of
+/// a row share an output row, so a band boundary through the run would
+/// let two threads accumulate into the same row. Requires the slice rows
+/// to be non-decreasing (true for `SlicedCsr::from_csr*`); returns `None`
+/// otherwise so callers fall back to the serial loop.
+pub(crate) fn row_aligned_slice_bands(
+    sliced: &SlicedCsr,
+    n_bands: usize,
+) -> Option<Vec<std::ops::Range<usize>>> {
+    let n = sliced.n_slices();
+    for i in 1..n {
+        if sliced.slice(i).0 < sliced.slice(i - 1).0 {
+            return None;
+        }
+    }
+    let mut bounds = Vec::with_capacity(n_bands + 1);
+    bounds.push(0usize);
+    for b in 1..n_bands {
+        let mut cut = pool::band_range(n, n_bands, b).start;
+        while cut > 0 && cut < n && sliced.slice(cut).0 == sliced.slice(cut - 1).0 {
+            cut += 1;
+        }
+        let prev = *bounds.last().unwrap();
+        bounds.push(cut.max(prev));
+    }
+    bounds.push(n);
+    Some(bounds.windows(2).map(|w| w[0]..w[1]).collect())
+}
+
+/// The host numerics of the sliced-parallel aggregation:
+/// `out[row] += Σ value × x[col]` per slice entry, banded across the pool
+/// on row-aligned slice ranges (bit-identical to the serial loop).
+fn spmm_sliced_numeric(sliced: &SlicedCsr, x: &Matrix, out: &mut Matrix) {
+    let n = x.cols();
+    let n_slices = sliced.n_slices();
+    let n_bands = if sliced.nnz() * n.max(1) >= HOST_PAR_THRESHOLD {
+        pool::bands(n_slices, 1)
+    } else {
+        1
+    };
+    let aligned = if n_bands > 1 {
+        row_aligned_slice_bands(sliced, n_bands)
+    } else {
+        None
+    };
+    match aligned {
+        Some(bands) => {
+            let shared = pool::DisjointMut::new(out.as_mut_slice());
+            pool::parallel_bands(bands.len(), |b| {
+                for i in bands[b].clone() {
+                    let (row, cols, vals) = sliced.slice(i);
+                    let row = row as usize;
+                    // SAFETY: row-aligned bands own disjoint output rows.
+                    let out_row = unsafe { shared.slice(row * n..(row + 1) * n) };
+                    for (&c, &v) in cols.iter().zip(vals) {
+                        for (o, &xv) in out_row.iter_mut().zip(x.row(c as usize)) {
+                            *o += v * xv;
+                        }
+                    }
+                }
+            });
+        }
+        None => {
+            for (row, cols, vals) in sliced.slices() {
+                let out_row = out.row_mut(row as usize);
+                for (&c, &v) in cols.iter().zip(vals) {
+                    for (o, &xv) in out_row.iter_mut().zip(x.row(c as usize)) {
+                        *o += v * xv;
+                    }
+                }
+            }
+        }
+    }
+}
 
 /// How PiPAD's dimension-aware parallel aggregation will access memory for
 /// a partition of `s_per` snapshots with `feat_dim` features each.
@@ -178,14 +260,7 @@ pub fn spmm_sliced_parallel(
 
     // Numerics: out[row] += Σ value × coalesced[col] per slice entry.
     let mut out = Matrix::zeros(sliced.n_rows(), coalesced.cols());
-    for (row, cols, vals) in sliced.slices() {
-        let out_row = out.row_mut(row as usize);
-        for (&c, &v) in cols.iter().zip(vals) {
-            for (o, &x) in out_row.iter_mut().zip(coalesced.host().row(c as usize)) {
-                *o += v * x;
-            }
-        }
-    }
+    spmm_sliced_numeric(sliced, coalesced.host(), &mut out);
     DeviceMatrix::alloc(gpu, out)
 }
 

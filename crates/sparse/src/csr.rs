@@ -1,7 +1,12 @@
 //! Compressed Sparse Row adjacency.
 
 use crate::coo::Coo;
+use pipad_pool as pool;
 use pipad_tensor::Matrix;
+
+/// Minimum `nnz × feature-dim` multiply-add volume before `spmm_dense`
+/// fans out to the pool.
+const SPMM_PAR_THRESHOLD: usize = 1 << 16;
 
 /// A CSR sparse matrix. For graph adjacency the values are edge weights
 /// (1.0 for the plain topology; GCN degree normalization is applied by a
@@ -251,15 +256,28 @@ impl Csr {
     /// SpMM kernel.
     pub fn spmm_dense(&self, dense: &Matrix) -> Matrix {
         assert_eq!(self.n_cols, dense.rows(), "spmm shape mismatch");
-        let mut out = Matrix::zeros(self.n_rows, dense.cols());
-        for r in 0..self.n_rows {
-            let out_row = out.row_mut(r);
-            for (&c, &v) in self.row(r).iter().zip(self.row_values(r)) {
-                for (o, &x) in out_row.iter_mut().zip(dense.row(c as usize)) {
-                    *o += v * x;
+        let n = dense.cols();
+        let mut out = Matrix::zeros(self.n_rows, n);
+        // Bands own disjoint output rows; each row's neighbor accumulation
+        // order matches the serial loop exactly, so the result is
+        // bit-identical at every thread count.
+        let min_rows = if self.nnz() * n.max(1) >= SPMM_PAR_THRESHOLD {
+            1
+        } else {
+            self.n_rows.max(1)
+        };
+        let shared = pool::DisjointMut::new(out.as_mut_slice());
+        pool::parallel_for(self.n_rows, min_rows, |rows| {
+            for r in rows {
+                // SAFETY: bands own disjoint output-row ranges.
+                let out_row = unsafe { shared.slice(r * n..(r + 1) * n) };
+                for (&c, &v) in self.row(r).iter().zip(self.row_values(r)) {
+                    for (o, &x) in out_row.iter_mut().zip(dense.row(c as usize)) {
+                        *o += v * x;
+                    }
                 }
             }
-        }
+        });
         out
     }
 

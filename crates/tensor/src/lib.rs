@@ -7,8 +7,9 @@
 //! genuinely converges.
 //!
 //! Matrices are row-major `Vec<f32>` with `rows × cols` shape. GEMM is
-//! cache-blocked and splits row bands across OS threads with
-//! `crossbeam::scope` for large shapes.
+//! cache-blocked and splits disjoint output-row bands across the
+//! persistent `pipad-pool` workers for large shapes; results are
+//! bit-identical at every thread count (see `PIPAD_THREADS`).
 
 mod init;
 mod matrix;

@@ -1,7 +1,18 @@
 //! Row-major dense f32 matrix.
 
+use pipad_pool as pool;
 use std::fmt;
 use std::ops::{Index, IndexMut};
+
+/// Minimum elements a band must touch before an elementwise or packing
+/// loop fans out to the pool; below this, thread handoff costs more than
+/// the loop itself.
+const ELEMS_PER_BAND: usize = 1 << 15;
+
+/// Rows per band so each band moves at least [`ELEMS_PER_BAND`] elements.
+fn rows_per_band(cols: usize) -> usize {
+    ELEMS_PER_BAND.div_ceil(cols.max(1)).max(1)
+}
 
 /// A dense `rows × cols` matrix of `f32` in row-major order.
 #[derive(Clone, PartialEq)]
@@ -128,43 +139,75 @@ impl Matrix {
         out
     }
 
-    /// Elementwise map into a new matrix.
-    pub fn map(&self, f: impl Fn(f32) -> f32) -> Matrix {
+    /// Elementwise map into a new matrix. Banded across the pool for
+    /// large buffers; each element is computed independently, so the
+    /// result is bit-identical at every thread count.
+    pub fn map(&self, f: impl Fn(f32) -> f32 + Sync) -> Matrix {
+        let mut data = vec![0.0; self.data.len()];
+        let shared = pool::DisjointMut::new(&mut data);
+        let src = &self.data;
+        pool::parallel_for(src.len(), ELEMS_PER_BAND, |range| {
+            // SAFETY: bands own disjoint element ranges.
+            let dst = unsafe { shared.slice(range.clone()) };
+            for (d, &s) in dst.iter_mut().zip(&src[range]) {
+                *d = f(s);
+            }
+        });
         Matrix {
             rows: self.rows,
             cols: self.cols,
-            data: self.data.iter().map(|&x| f(x)).collect(),
+            data,
         }
     }
 
     /// Elementwise combine with another same-shape matrix.
-    pub fn zip(&self, other: &Matrix, f: impl Fn(f32, f32) -> f32) -> Matrix {
+    pub fn zip(&self, other: &Matrix, f: impl Fn(f32, f32) -> f32 + Sync) -> Matrix {
         assert_eq!(self.shape(), other.shape(), "shape mismatch in zip");
+        let mut data = vec![0.0; self.data.len()];
+        let shared = pool::DisjointMut::new(&mut data);
+        let (a_data, b_data) = (&self.data, &other.data);
+        pool::parallel_for(a_data.len(), ELEMS_PER_BAND, |range| {
+            // SAFETY: bands own disjoint element ranges.
+            let dst = unsafe { shared.slice(range.clone()) };
+            for ((d, &a), &b) in dst
+                .iter_mut()
+                .zip(&a_data[range.clone()])
+                .zip(&b_data[range])
+            {
+                *d = f(a, b);
+            }
+        });
         Matrix {
             rows: self.rows,
             cols: self.cols,
-            data: self
-                .data
-                .iter()
-                .zip(&other.data)
-                .map(|(&a, &b)| f(a, b))
-                .collect(),
+            data,
         }
     }
 
     /// In-place elementwise accumulate: `self += other`.
     pub fn add_assign(&mut self, other: &Matrix) {
         assert_eq!(self.shape(), other.shape(), "shape mismatch in add_assign");
-        for (a, b) in self.data.iter_mut().zip(&other.data) {
-            *a += b;
-        }
+        let shared = pool::DisjointMut::new(&mut self.data);
+        let src = &other.data;
+        pool::parallel_for(src.len(), ELEMS_PER_BAND, |range| {
+            // SAFETY: bands own disjoint element ranges.
+            let dst = unsafe { shared.slice(range.clone()) };
+            for (a, b) in dst.iter_mut().zip(&src[range]) {
+                *a += b;
+            }
+        });
     }
 
     /// In-place scale.
     pub fn scale_assign(&mut self, s: f32) {
-        for a in &mut self.data {
-            *a *= s;
-        }
+        let shared = pool::DisjointMut::new(&mut self.data);
+        pool::parallel_for(shared.len(), ELEMS_PER_BAND, |range| {
+            // SAFETY: bands own disjoint element ranges.
+            let dst = unsafe { shared.slice(range) };
+            for a in dst {
+                *a *= s;
+            }
+        });
     }
 
     /// Concatenate matrices horizontally (same row count).
@@ -177,14 +220,18 @@ impl Matrix {
         );
         let cols: usize = parts.iter().map(|p| p.cols).sum();
         let mut out = Matrix::zeros(rows, cols);
-        for r in 0..rows {
-            let dst = out.row_mut(r);
-            let mut off = 0;
-            for p in parts {
-                dst[off..off + p.cols].copy_from_slice(p.row(r));
-                off += p.cols;
+        let shared = pool::DisjointMut::new(&mut out.data);
+        pool::parallel_for(rows, rows_per_band(cols), |row_range| {
+            for r in row_range {
+                // SAFETY: bands own disjoint row ranges.
+                let dst = unsafe { shared.slice(r * cols..(r + 1) * cols) };
+                let mut off = 0;
+                for p in parts {
+                    dst[off..off + p.cols].copy_from_slice(p.row(r));
+                    off += p.cols;
+                }
             }
-        }
+        });
         out
     }
 
@@ -217,10 +264,18 @@ impl Matrix {
     /// Extract the column range `[from, to)` into a new matrix.
     pub fn slice_cols(&self, from: usize, to: usize) -> Matrix {
         assert!(from <= to && to <= self.cols, "column slice out of range");
-        let mut out = Matrix::zeros(self.rows, to - from);
-        for r in 0..self.rows {
-            out.row_mut(r).copy_from_slice(&self.row(r)[from..to]);
-        }
+        let width = to - from;
+        let mut out = Matrix::zeros(self.rows, width);
+        let shared = pool::DisjointMut::new(&mut out.data);
+        let src = &self.data;
+        let cols = self.cols;
+        pool::parallel_for(self.rows, rows_per_band(width), |row_range| {
+            for r in row_range {
+                // SAFETY: bands own disjoint row ranges.
+                let dst = unsafe { shared.slice(r * width..(r + 1) * width) };
+                dst.copy_from_slice(&src[r * cols + from..r * cols + to]);
+            }
+        });
         out
     }
 
@@ -254,13 +309,23 @@ impl Matrix {
     }
 
     /// Column-wise sums (length `cols`): the bias-gradient reduction.
+    /// Banded by *columns*, so each output slot still accumulates rows in
+    /// ascending order exactly like the serial loop (bit-identical).
     pub fn col_sums(&self) -> Vec<f32> {
         let mut out = vec![0.0; self.cols];
-        for r in 0..self.rows {
-            for (o, &v) in out.iter_mut().zip(self.row(r)) {
-                *o += v;
+        let shared = pool::DisjointMut::new(&mut out);
+        let (rows, cols, data) = (self.rows, self.cols, &self.data);
+        let min_cols = ELEMS_PER_BAND.div_ceil(rows.max(1)).max(1);
+        pool::parallel_for(cols, min_cols, |col_range| {
+            // SAFETY: bands own disjoint column ranges.
+            let dst = unsafe { shared.slice(col_range.clone()) };
+            for r in 0..rows {
+                let row = &data[r * cols..(r + 1) * cols];
+                for (o, c) in dst.iter_mut().zip(col_range.clone()) {
+                    *o += row[c];
+                }
             }
-        }
+        });
         out
     }
 

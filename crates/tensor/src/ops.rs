@@ -1,12 +1,22 @@
-//! GEMM kernels: cache-blocked inner loops, threaded across row bands for
-//! large shapes via `crossbeam::scope`.
+//! GEMM kernels: cache-blocked inner loops, threaded across disjoint
+//! output-row bands on the persistent `pipad-pool` workers for large
+//! shapes. Per-row accumulation order is identical in the serial and
+//! banded paths, so results are bit-identical at every thread count.
 
 use crate::matrix::Matrix;
+use pipad_pool as pool;
 
-/// Minimum `rows × cols × inner` FLOP volume before GEMM spawns threads.
+/// Minimum `rows × cols × inner` FLOP volume before GEMM uses the pool.
 pub const PAR_THRESHOLD: usize = 1 << 20;
 
 const BLOCK: usize = 64;
+
+/// Minimum output rows per band so each band carries at least
+/// `PAR_THRESHOLD` FLOP volume; also forces the serial path (one band)
+/// whenever the whole product is below the threshold.
+fn min_rows_per_band(n: usize, k: usize) -> usize {
+    PAR_THRESHOLD.div_ceil((n * k).max(1)).max(1)
+}
 
 /// `C = A × B`.
 pub fn gemm(a: &Matrix, b: &Matrix) -> Matrix {
@@ -20,28 +30,15 @@ pub fn gemm(a: &Matrix, b: &Matrix) -> Matrix {
     let (m, k) = a.shape();
     let n = b.cols();
     let mut out = Matrix::zeros(m, n);
-    let volume = m * n * k;
-    if volume < PAR_THRESHOLD {
-        gemm_band(a.as_slice(), b.as_slice(), out.as_mut_slice(), m, k, n);
-        return out;
-    }
-    let threads = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(4)
-        .min(m.max(1));
-    let rows_per = m.div_ceil(threads);
-    let b_data = b.as_slice();
     let a_data = a.as_slice();
-    crossbeam::scope(|scope| {
-        for (band_idx, out_band) in out.as_mut_slice().chunks_mut(rows_per * n).enumerate() {
-            let a_band = &a_data[band_idx * rows_per * k..];
-            scope.spawn(move |_| {
-                let band_rows = out_band.len() / n;
-                gemm_band(&a_band[..band_rows * k], b_data, out_band, band_rows, k, n);
-            });
-        }
-    })
-    .expect("gemm worker panicked");
+    let b_data = b.as_slice();
+    let shared = pool::DisjointMut::new(out.as_mut_slice());
+    pool::parallel_for(m, min_rows_per_band(n, k), |rows| {
+        // SAFETY: bands own disjoint output-row ranges.
+        let c_band = unsafe { shared.slice(rows.start * n..rows.end * n) };
+        let a_band = &a_data[rows.start * k..rows.end * k];
+        gemm_band(a_band, b_data, c_band, rows.len(), k, n);
+    });
     out
 }
 
@@ -78,21 +75,30 @@ pub fn gemm_tn(a: &Matrix, b: &Matrix) -> Matrix {
     let (k, m) = a.shape();
     let n = b.cols();
     let mut out = Matrix::zeros(m, n);
+    let a_data = a.as_slice();
+    let b_data = b.as_slice();
+    let shared = pool::DisjointMut::new(out.as_mut_slice());
     // Accumulate rank-1 contributions row by row: cache-friendly on both
-    // inputs and avoids materializing Aᵀ.
-    for p in 0..k {
-        let a_row = a.row(p);
-        let b_row = b.row(p);
-        for (i, &av) in a_row.iter().enumerate() {
-            if av == 0.0 {
-                continue;
-            }
-            let c_row = out.row_mut(i);
-            for (cv, &bv) in c_row.iter_mut().zip(b_row) {
-                *cv += av * bv;
+    // inputs and avoids materializing Aᵀ. Bands split the *output* rows
+    // (columns of A); every output row still sees `p` in ascending order,
+    // so banding never reorders a single row's accumulation.
+    pool::parallel_for(m, min_rows_per_band(n, k), |out_rows| {
+        for p in 0..k {
+            let a_row = &a_data[p * m..(p + 1) * m];
+            let b_row = &b_data[p * n..(p + 1) * n];
+            for i in out_rows.clone() {
+                let av = a_row[i];
+                if av == 0.0 {
+                    continue;
+                }
+                // SAFETY: bands own disjoint output-row ranges.
+                let c_row = unsafe { shared.slice(i * n..(i + 1) * n) };
+                for (cv, &bv) in c_row.iter_mut().zip(b_row) {
+                    *cv += av * bv;
+                }
             }
         }
-    }
+    });
     out
 }
 
@@ -105,21 +111,27 @@ pub fn gemm_nt(a: &Matrix, b: &Matrix) -> Matrix {
         a.shape(),
         b.shape()
     );
-    let (m, _k) = a.shape();
+    let (m, k) = a.shape();
     let n = b.rows();
     let mut out = Matrix::zeros(m, n);
-    for i in 0..m {
-        let a_row = a.row(i);
-        let c_row = out.row_mut(i);
-        for (j, cv) in c_row.iter_mut().enumerate() {
-            let b_row = b.row(j);
-            let mut acc = 0.0;
-            for (&av, &bv) in a_row.iter().zip(b_row) {
-                acc += av * bv;
+    let a_data = a.as_slice();
+    let b_data = b.as_slice();
+    let shared = pool::DisjointMut::new(out.as_mut_slice());
+    pool::parallel_for(m, min_rows_per_band(n, k), |rows| {
+        for i in rows {
+            let a_row = &a_data[i * k..(i + 1) * k];
+            // SAFETY: bands own disjoint output-row ranges.
+            let c_row = unsafe { shared.slice(i * n..(i + 1) * n) };
+            for (j, cv) in c_row.iter_mut().enumerate() {
+                let b_row = &b_data[j * k..(j + 1) * k];
+                let mut acc = 0.0;
+                for (&av, &bv) in a_row.iter().zip(b_row) {
+                    acc += av * bv;
+                }
+                *cv = acc;
             }
-            *cv = acc;
         }
-    }
+    });
     out
 }
 
@@ -193,5 +205,22 @@ mod tests {
     #[should_panic(expected = "gemm shape mismatch")]
     fn mismatched_shapes_panic() {
         let _ = gemm(&Matrix::zeros(2, 3), &Matrix::zeros(4, 2));
+    }
+
+    #[test]
+    fn banded_gemm_is_bit_identical_to_serial() {
+        let mut rng = seeded_rng(23);
+        let a = uniform(&mut rng, 130, 128, 1.0);
+        let b = uniform(&mut rng, 128, 128, 1.0);
+        let serial = pipad_pool::with_threads(1, || gemm(&a, &b));
+        for t in [2usize, 7] {
+            let par = pipad_pool::with_threads(t, || gemm(&a, &b));
+            let same = serial
+                .as_slice()
+                .iter()
+                .zip(par.as_slice())
+                .all(|(x, y)| x.to_bits() == y.to_bits());
+            assert!(same, "gemm not bit-identical at {t} threads");
+        }
     }
 }

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Tier-1 gate plus the host-parallel determinism contract.
+#
+# Builds the workspace, runs the full test suite, then re-runs the
+# bit-exactness suite under forced thread counts (PIPAD_THREADS=1 and =4)
+# to prove parallel execution is bit-identical to serial regardless of the
+# ambient core count.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo build --release =="
+cargo build --release
+
+echo "== cargo test -q =="
+cargo test -q
+
+echo "== bit-exactness @ PIPAD_THREADS=1 =="
+PIPAD_THREADS=1 cargo test -q --test host_parallel_exactness
+
+echo "== bit-exactness @ PIPAD_THREADS=4 =="
+PIPAD_THREADS=4 cargo test -q --test host_parallel_exactness
+
+echo "== all checks passed =="
