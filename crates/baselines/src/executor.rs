@@ -74,10 +74,9 @@ impl<'c> BaselineExecutor<'c> {
                 .as_mut()
                 .and_then(|c| c.get(global_idx).cloned());
             // Host-side preparation (framework overhead + staging copy).
-            let moved_bytes = if cached_host.is_some() {
-                cached_host.as_ref().unwrap().bytes()
-            } else {
-                feats.bytes() + adj.bytes()
+            let moved_bytes = match &cached_host {
+                Some(cached) => cached.bytes(),
+                None => feats.bytes() + adj.bytes(),
             };
             let prep = SimNanos::from_nanos(gpu.cfg().host_op_fixed_ns)
                 + SimNanos::from_bytes(moved_bytes, gpu.cfg().host_bytes_per_us);

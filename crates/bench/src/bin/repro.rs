@@ -16,13 +16,16 @@
 //!   fig12    sliced-CSR load balance + ablation speedup
 //!   ablation hardware-sensitivity + per-mechanism ablations (extension)
 //!   host_parallel  serial-vs-pool wall-clock of the host numerics layer
+//!   trace    Chrome-trace timeline of one pipelined run (Perfetto-loadable)
 //!   all      everything (one grid pass shared by fig10/table2)
 //! ```
 //!
 //! Results print to stdout and are written to `<out>/<name>.txt`
 //! (default `results/`).
 
-use pipad_bench::{ablation, breakdown, fig11, fig12, fig5, fig9, grid, host_parallel, table1, RunScale};
+use pipad_bench::{
+    ablation, breakdown, fig11, fig12, fig5, fig9, grid, host_parallel, table1, trace, RunScale,
+};
 use std::fs;
 use std::path::PathBuf;
 use std::time::Instant;
@@ -134,6 +137,13 @@ fn main() {
             fs::create_dir_all(&args.out_dir).ok();
             let path = args.out_dir.join("host_parallel.json");
             fs::write(&path, host_parallel::render_json(&rows)).expect("write host_parallel.json");
+            eprintln!("[repro] wrote {}", path.display());
+        }
+        "trace" => {
+            let art = trace::run(args.scale);
+            emit(&args.out_dir, "trace_fig11", &art.summary);
+            let path = args.out_dir.join("trace_fig11.json");
+            fs::write(&path, &art.json).expect("write trace_fig11.json");
             eprintln!("[repro] wrote {}", path.display());
         }
         "all" => {

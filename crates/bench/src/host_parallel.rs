@@ -70,8 +70,8 @@ fn det_graph(n: usize, deg: usize, salt: u64) -> Csr {
 }
 
 fn bench_pair(iters: usize, f: impl Fn()) -> (f64, f64) {
-    let serial = with_threads(1, || time_ms(iters, || f()));
-    let parallel = time_ms(iters, || f());
+    let serial = with_threads(1, || time_ms(iters, &f));
+    let parallel = time_ms(iters, f);
     (serial, parallel)
 }
 

@@ -14,6 +14,7 @@
 //! | [`fig11`] | Figure 11 — parallel-GNN speedup, memory-efficiency and dimension sensitivity; §5.3 thread utilization |
 //! | [`fig12`] | Figure 12 — load balance and overall speedup of the sliced CSR |
 //! | [`ablation`] | extension: hardware-sensitivity and per-mechanism ablations |
+//! | [`trace`] | extension: Chrome-trace timeline of one pipelined run (open in Perfetto) |
 //!
 //! Run everything with the `repro` binary:
 //!
@@ -30,6 +31,7 @@ pub mod fig9;
 pub mod grid;
 pub mod host_parallel;
 pub mod table1;
+pub mod trace;
 pub mod util;
 
 pub use util::{default_training_config, Method, RunScale};

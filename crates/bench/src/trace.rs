@@ -1,0 +1,105 @@
+//! `repro trace` — export a Chrome-trace-format timeline of one
+//! representative PiPAD pipeline run (the Figure 11 configuration:
+//! T-GCN on COVID-19-England, the paper's frame size).
+//!
+//! The artifact is loadable in `chrome://tracing` or Perfetto: one
+//! "process" per simulated GPU, one "thread" per stream / copy engine /
+//! controller lane. Because every timestamp is simulated nanoseconds,
+//! the exported bytes are a pure function of the workload — the command
+//! re-runs the workload and re-exports under `PIPAD_THREADS`-style
+//! serial and 4-thread pools to prove byte-identity before writing.
+
+use crate::util::{dataset, default_training_config, RunScale};
+use pipad::{train_pipad, PipadConfig};
+use pipad_dyngraph::DatasetId;
+use pipad_gpu_sim::{
+    export_chrome_trace, trace_text_summary, validate_json, DeviceConfig, Gpu,
+};
+use pipad_models::ModelKind;
+use pipad_pool::with_threads;
+use std::fmt::Write as _;
+
+/// Everything `repro trace` produces.
+pub struct TraceArtifact {
+    /// Chrome-trace-format JSON (`results/trace_fig11.json`).
+    pub json: String,
+    /// Compact text summary (`results/trace_fig11.txt`).
+    pub summary: String,
+}
+
+/// One trace-producing pipeline run; returns the exported JSON and the
+/// text summary. The exported trace is checked against the profiler's
+/// independent accounting before being returned.
+fn run_once(scale: RunScale) -> TraceArtifact {
+    let graph = dataset(DatasetId::Covid19England, scale);
+    let cfg = default_training_config(scale);
+    let mut gpu = Gpu::new(DeviceConfig::v100());
+    let report = train_pipad(
+        &mut gpu,
+        ModelKind::TGcn,
+        &graph,
+        16,
+        &cfg,
+        &PipadConfig::default(),
+    )
+    .expect("trace run failed");
+    gpu.profiler()
+        .consistency_check(gpu.trace())
+        .expect("trace disagrees with profiler accounting");
+
+    let json = export_chrome_trace(gpu.trace(), 0);
+    validate_json(&json).expect("exported trace is not well-formed JSON");
+
+    let mut summary = String::new();
+    let _ = writeln!(
+        summary,
+        "trace: T-GCN / COVID-19-England ({}), window {}, {} epochs",
+        scale.label(),
+        cfg.window,
+        cfg.epochs
+    );
+    let final_loss = report.epochs.last().map(|e| e.mean_loss).unwrap_or(0.0);
+    let _ = writeln!(
+        summary,
+        "final loss {:.6}, steady epoch {} ns",
+        final_loss,
+        report.steady_epoch_time.as_nanos()
+    );
+    summary.push_str(&trace_text_summary(gpu.trace()));
+    TraceArtifact { json, summary }
+}
+
+/// Run the trace experiment: produce the artifact and verify the
+/// determinism contract (byte-identical across repeated runs and across
+/// host-pool thread counts) before handing it to the caller.
+pub fn run(scale: RunScale) -> TraceArtifact {
+    let first = run_once(scale);
+    let again = run_once(scale);
+    assert_eq!(
+        first.json, again.json,
+        "trace JSON differs between two identical runs"
+    );
+    let serial = with_threads(1, || run_once(scale));
+    let pooled = with_threads(4, || run_once(scale));
+    assert_eq!(
+        first.json, serial.json,
+        "trace JSON differs under a 1-thread host pool"
+    );
+    assert_eq!(
+        first.json, pooled.json,
+        "trace JSON differs under a 4-thread host pool"
+    );
+    first
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_trace_is_deterministic_and_well_formed() {
+        let art = run(RunScale::Tiny);
+        assert!(art.json.starts_with("{\"displayTimeUnit\":\"ms\""));
+        assert!(art.summary.contains("device_mem_in_use"));
+    }
+}

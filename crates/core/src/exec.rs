@@ -18,7 +18,7 @@ use crate::analyzer::GraphAnalyzer;
 use crate::prep::{PartitionCatalog, PartitionPlan};
 use crate::reuse::InterFrameReuse;
 use pipad_autograd::{SharedParam, Tape, Var};
-use pipad_gpu_sim::{Event, Gpu, KernelCategory, OomError, SimNanos, StreamId};
+use pipad_gpu_sim::{ArgValue, Event, Gpu, KernelCategory, Lane, OomError, SimNanos, StreamId};
 use pipad_kernels::{upload_matrix, upload_sliced, DeviceMatrix, DeviceSliced};
 use pipad_tensor::Matrix;
 use std::rc::Rc;
@@ -215,6 +215,18 @@ impl<'r> PipadExecutor<'r> {
                     gpu_agg,
                 });
             }
+            let ready = gpu.record_event(copy);
+            gpu.trace_mut().instant(
+                "pipeline_stage",
+                Lane::Control,
+                ready.time(),
+                vec![
+                    ("stage", ArgValue::Str("staged".to_string())),
+                    ("partition_start", ArgValue::U64(start as u64)),
+                    ("size", ArgValue::U64(size as u64)),
+                    ("layer1_cached", ArgValue::Bool(layer1_cached)),
+                ],
+            );
             partitions.push(PartitionState {
                 slots: staged_slots,
                 overlap,
@@ -223,7 +235,7 @@ impl<'r> PipadExecutor<'r> {
                 adj_dev_csr,
                 csr_adjs,
                 layer1_cached,
-                ready: gpu.record_event(copy),
+                ready,
             });
             offset += size;
         }
@@ -355,6 +367,16 @@ impl pipad_models::GnnExecutor for PipadExecutor<'_> {
                     }
                 }
             }
+            let done = gpu.record_event(self.compute).time();
+            gpu.trace_mut().instant(
+                "pipeline_stage",
+                Lane::Control,
+                done,
+                vec![
+                    ("stage", ArgValue::Str("aggregate".to_string())),
+                    ("partition", ArgValue::U64(pi as u64)),
+                ],
+            );
             out.extend(aggs);
         }
         Ok(out)
@@ -418,6 +440,16 @@ impl pipad_models::GnnExecutor for PipadExecutor<'_> {
             out.push(tape.slice_rows(gpu, h, row, row + rows, cat)?);
             row += rows;
         }
+        let done = gpu.record_event(self.compute).time();
+        gpu.trace_mut().instant(
+            "pipeline_stage",
+            Lane::Control,
+            done,
+            vec![
+                ("stage", ArgValue::Str("update".to_string())),
+                ("slots", ArgValue::U64(xs.len() as u64)),
+            ],
+        );
         Ok(out)
     }
 }

@@ -163,9 +163,10 @@ pub fn train_data_parallel(
         })
         .sum();
 
-    // Precompute per-device local adjacency + halo volumes per snapshot.
-    let mut local_norms: Vec<Vec<(Rc<SlicedCsr>, Rc<Vec<f32>>, u64)>> =
-        vec![Vec::with_capacity(graph.len()); parts];
+    // Precompute per-device local adjacency + halo volumes per snapshot:
+    // (sliced local adjacency, inverse degrees, halo column count).
+    type LocalNorm = (Rc<SlicedCsr>, Rc<Vec<f32>>, u64);
+    let mut local_norms: Vec<Vec<LocalNorm>> = vec![Vec::with_capacity(graph.len()); parts];
     for snap in &graph.snapshots {
         let norm = pipad_models::normalize_snapshot(&snap.adj);
         for (p, &(lo, hi)) in ranges.iter().enumerate() {

@@ -22,7 +22,7 @@ use crate::reuse::InterFrameReuse;
 use crate::tuner::{DynamicTuner, FrameProfile, OfflineTable};
 use pipad_autograd::Tape;
 use pipad_dyngraph::{DynamicGraph, FrameIter};
-use pipad_gpu_sim::{Gpu, OomError, SimNanos};
+use pipad_gpu_sim::{ArgValue, Gpu, Lane, OomError, SimNanos, TraceKind};
 use pipad_models::{build_model, EpochReport, ModelKind, TrainReport, TrainingConfig};
 use pipad_tensor::Matrix;
 
@@ -94,6 +94,8 @@ pub fn train_pipad(
         if epoch == preparing {
             steady_snap = Some(gpu.profiler().snapshot());
             steady_t0 = t0;
+            gpu.trace_mut()
+                .instant("steady_phase_begin", Lane::Control, t0, vec![]);
         }
         // Fresh GPU-side cache per epoch (the sliding window restarts).
         reuse.gpu_cache.clear(gpu);
@@ -115,6 +117,7 @@ pub fn train_pipad(
             };
             gpu.reset_peak_mem();
             let frame_snap = gpu.profiler().snapshot();
+            let frame_t0 = gpu.now().max(host_cursor);
 
             let mut exec = PipadExecutor::stage(
                 gpu,
@@ -152,6 +155,21 @@ pub fn train_pipad(
             // Entries below the next frame's start have left the window.
             reuse.gpu_cache.retire_below(gpu, frame.start + 1);
 
+            let frame_t1 = gpu.now().max(host_cursor);
+            gpu.trace_mut().span(
+                "frame",
+                TraceKind::Span,
+                Lane::Control,
+                frame_t0,
+                frame_t1,
+                vec![
+                    ("epoch", ArgValue::U64(epoch as u64)),
+                    ("frame", ArgValue::U64(fi as u64)),
+                    ("s_per", ArgValue::U64(s_per as u64)),
+                    ("loss", ArgValue::F64(loss as f64)),
+                ],
+            );
+
             if is_preparing && epoch == preparing - 1 {
                 // Last preparing epoch: record the tuner's inputs.
                 let w = gpu.profiler().window(frame_snap);
@@ -186,17 +204,39 @@ pub fn train_pipad(
                 gpu.cfg().pcie_pinned_bytes_per_us,
                 graph.feature_dim(),
             );
-            decisions = frame_profiles
+            let full: Vec<_> = frame_profiles
                 .iter()
                 .enumerate()
-                .map(|(fi, p)| tuner.decide(p, &catalog, fi, cfg.window).s_per)
+                .map(|(fi, p)| tuner.decide(p, &catalog, fi, cfg.window))
                 .collect();
+            let t_decide = gpu.now().max(host_cursor);
+            for (fi, d) in full.iter().enumerate() {
+                gpu.trace_mut()
+                    .instant("tuner_decision", Lane::Control, t_decide, d.trace_args(fi));
+            }
+            decisions = full.iter().map(|d| d.s_per).collect();
         }
 
         let t1 = gpu.synchronize().max(host_cursor);
+        let mean_loss = losses.iter().sum::<f32>() / losses.len().max(1) as f32;
+        let epoch_peak = gpu.mem().peak();
+        gpu.trace_mut().span(
+            "epoch",
+            TraceKind::Span,
+            Lane::Control,
+            t0,
+            t1,
+            vec![
+                ("epoch", ArgValue::U64(epoch as u64)),
+                ("preparing", ArgValue::Bool(is_preparing)),
+                ("mean_loss", ArgValue::F64(mean_loss as f64)),
+                ("sim_time_ns", ArgValue::U64((t1 - t0).as_nanos())),
+                ("peak_mem", ArgValue::U64(epoch_peak)),
+            ],
+        );
         epochs.push(EpochReport {
             epoch,
-            mean_loss: losses.iter().sum::<f32>() / losses.len().max(1) as f32,
+            mean_loss,
             sim_time: t1 - t0,
         });
     }

@@ -14,7 +14,7 @@
 //!    longer than the overlapped computation are rejected.
 
 use crate::prep::{PartitionCatalog, S_PER_OPTIONS};
-use pipad_gpu_sim::SimNanos;
+use pipad_gpu_sim::{ArgValue, SimNanos};
 use serde::{Deserialize, Serialize};
 
 /// Overlap-rate bucket edges (lower bounds).
@@ -92,6 +92,24 @@ pub struct SperDecision {
     pub memory_bound: usize,
     /// Options rejected because their transfer would stall the pipeline.
     pub rejected_for_stall: Vec<usize>,
+}
+
+impl SperDecision {
+    /// Ordered argument list for the `tuner_decision` trace instant the
+    /// pipeline controller emits once per frame (deterministic: every value
+    /// derives from profiled simulated quantities).
+    pub fn trace_args(&self, frame: usize) -> Vec<(&'static str, ArgValue)> {
+        vec![
+            ("frame", ArgValue::U64(frame as u64)),
+            ("s_per", ArgValue::U64(self.s_per as u64)),
+            ("memory_bound", ArgValue::U64(self.memory_bound as u64)),
+            ("estimated_speedup", ArgValue::F64(self.estimated_speedup)),
+            (
+                "rejected_for_stall",
+                ArgValue::Str(format!("{:?}", self.rejected_for_stall)),
+            ),
+        ]
+    }
 }
 
 /// The dynamic tuner.

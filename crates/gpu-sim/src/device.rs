@@ -19,6 +19,7 @@ use crate::memory::{BufferId, DeviceMemory, OomError};
 use crate::profiler::{Profiler, Sample, SampleKind};
 use crate::schedule::schedule_blocks;
 use crate::time::SimNanos;
+use crate::trace::{ArgValue, Lane, TraceKind, Tracer};
 
 /// Direction of a PCIe transfer.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -49,6 +50,7 @@ pub struct Gpu {
     cfg: DeviceConfig,
     mem: DeviceMemory,
     profiler: Profiler,
+    tracer: Tracer,
     compute_cursor: SimNanos,
     h2d_cursor: SimNanos,
     d2h_cursor: SimNanos,
@@ -64,6 +66,7 @@ impl Gpu {
             cfg,
             mem: DeviceMemory::new(capacity),
             profiler: Profiler::new(),
+            tracer: Tracer::new(),
             compute_cursor: SimNanos::ZERO,
             h2d_cursor: SimNanos::ZERO,
             d2h_cursor: SimNanos::ZERO,
@@ -85,6 +88,17 @@ impl Gpu {
     /// The profiler sample log.
     pub fn profiler(&self) -> &Profiler {
         &self.profiler
+    }
+
+    /// The structured trace recorder.
+    pub fn trace(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Mutable access for higher layers (trainer, executor, pipeline
+    /// controller) to emit their own control events onto the trace.
+    pub fn trace_mut(&mut self) -> &mut Tracer {
+        &mut self.tracer
     }
 
     /// The default stream (stream 0), always present.
@@ -112,14 +126,38 @@ impl Gpu {
 
     // ---- memory ---------------------------------------------------------
 
-    /// Alloc.
+    /// Alloc. Success moves the `device_mem_in_use` counter track; failure
+    /// records an `alloc_oom` instant with the full [`OomError`] detail.
     pub fn alloc(&mut self, bytes: u64) -> Result<BufferId, OomError> {
-        self.mem.alloc(bytes)
+        let t = self.now();
+        match self.mem.alloc(bytes) {
+            Ok(id) => {
+                self.tracer
+                    .counter("device_mem_in_use", Lane::Memory, t, self.mem.in_use());
+                Ok(id)
+            }
+            Err(e) => {
+                self.tracer.instant(
+                    "alloc_oom",
+                    Lane::Memory,
+                    t,
+                    vec![
+                        ("requested", ArgValue::U64(e.requested)),
+                        ("in_use", ArgValue::U64(e.in_use)),
+                        ("capacity", ArgValue::U64(e.capacity)),
+                    ],
+                );
+                Err(e)
+            }
+        }
     }
 
     /// Release the device allocation.
     pub fn free(&mut self, id: BufferId) {
+        let t = self.now();
         self.mem.free(id);
+        self.tracer
+            .counter("device_mem_in_use", Lane::Memory, t, self.mem.in_use());
     }
 
     /// Reset peak mem.
@@ -131,6 +169,13 @@ impl Gpu {
 
     /// Busy time (actual, balanced) for a kernel, independent of queueing.
     pub fn kernel_busy(&self, cost: &KernelCost) -> (SimNanos, SimNanos) {
+        let (busy, balanced, _) = self.kernel_busy_ratio(cost);
+        (busy, balanced)
+    }
+
+    /// [`Gpu::kernel_busy`] plus the exact block-imbalance ratio
+    /// `(makespan, ideal)` the busy time was scaled by.
+    fn kernel_busy_ratio(&self, cost: &KernelCost) -> (SimNanos, SimNanos, (u64, u64)) {
         let eff = cost.warp_efficiency_milli.clamp(1, 1000) as u64;
         // Low warp occupancy throttles arithmetic linearly, and achieved
         // DRAM bandwidth down to a floor: a warp with few active lanes
@@ -145,11 +190,11 @@ impl Gpu {
         let balanced = mem.max(compute).max(smem);
         let report = schedule_blocks(&cost.block_work, self.cfg.block_slots());
         let (num, den) = report.factor_ratio();
-        (balanced.scale(num, den), balanced)
+        (balanced.scale(num, den), balanced, (num, den))
     }
 
     fn enqueue_kernel(&mut self, stream: StreamId, cost: &KernelCost, overhead: SimNanos) -> Event {
-        let (busy, balanced) = self.kernel_busy(cost);
+        let (busy, balanced, (imb_num, imb_den)) = self.kernel_busy_ratio(cost);
         let queued = self.streams[stream.0].max(self.compute_cursor);
         // The launch overhead is host/driver latency: the SMs are idle for
         // it, so the recorded busy interval starts after it (this is what
@@ -172,6 +217,26 @@ impl Gpu {
             start,
             end,
         });
+        self.tracer.span(
+            cost.name,
+            TraceKind::Kernel,
+            Lane::Stream(stream.0),
+            start,
+            end,
+            vec![
+                ("category", ArgValue::Str(cost.category.label().to_string())),
+                ("flops", ArgValue::U64(cost.flops)),
+                ("gmem_transactions", ArgValue::U64(cost.gmem_transactions)),
+                (
+                    "warp_efficiency_milli",
+                    ArgValue::U64(cost.warp_efficiency_milli as u64),
+                ),
+                (
+                    "imbalance_milli",
+                    ArgValue::U64(crate::schedule::ratio_milli(imb_num, imb_den)),
+                ),
+            ],
+        );
         Event(end)
     }
 
@@ -215,6 +280,14 @@ impl Gpu {
         let end = start + SimNanos::from_nanos(self.cfg.graph_launch_ns);
         self.streams[stream.0] = end;
         self.compute_cursor = end;
+        self.tracer.span(
+            "cuda_graph_launch",
+            TraceKind::Span,
+            Lane::Stream(stream.0),
+            start,
+            end,
+            vec![],
+        );
     }
 
     // ---- transfers ------------------------------------------------------
@@ -240,15 +313,28 @@ impl Gpu {
         if !pinned {
             self.compute_cursor = self.compute_cursor.max(end);
         }
+        let (name, tlane) = match dir {
+            TransferDir::H2D => ("memcpy_h2d", Lane::H2D),
+            TransferDir::D2H => ("memcpy_d2h", Lane::D2H),
+        };
         self.profiler.record(Sample {
-            name: match dir {
-                TransferDir::H2D => "memcpy_h2d",
-                TransferDir::D2H => "memcpy_d2h",
-            },
+            name,
             kind: SampleKind::Transfer { dir, bytes, pinned },
             start,
             end,
         });
+        self.tracer.span(
+            name,
+            TraceKind::Memcpy,
+            tlane,
+            start,
+            end,
+            vec![
+                ("bytes", ArgValue::U64(bytes)),
+                ("pinned", ArgValue::Bool(pinned)),
+                ("stream", ArgValue::U64(stream.0 as u64)),
+            ],
+        );
         Event(end)
     }
 
@@ -272,13 +358,33 @@ impl Gpu {
 
     /// Make `stream` wait until `event` has completed.
     pub fn wait_event(&mut self, stream: StreamId, event: Event) {
-        self.streams[stream.0] = self.streams[stream.0].max(event.0);
+        let before = self.streams[stream.0];
+        self.streams[stream.0] = before.max(event.0);
+        if event.0 > before {
+            // Only genuine stalls are recorded; no-op waits would bury the
+            // timeline in noise without moving any cursor.
+            self.tracer.instant(
+                "wait_event",
+                Lane::Stream(stream.0),
+                self.streams[stream.0],
+                vec![("stalled_ns", ArgValue::U64((event.0 - before).as_nanos()))],
+            );
+        }
     }
 
     /// Make `stream` wait until an absolute host-side time (used when the
     /// CPU finishes preparing data that a transfer depends on).
     pub fn stream_wait_host(&mut self, stream: StreamId, t: SimNanos) {
-        self.streams[stream.0] = self.streams[stream.0].max(t);
+        let before = self.streams[stream.0];
+        self.streams[stream.0] = before.max(t);
+        if t > before {
+            self.tracer.instant(
+                "wait_host",
+                Lane::Stream(stream.0),
+                t,
+                vec![("stalled_ns", ArgValue::U64((t - before).as_nanos()))],
+            );
+        }
     }
 
     /// Device-wide barrier: every lane and stream advances to `now()`.
@@ -290,6 +396,7 @@ impl Gpu {
         for s in &mut self.streams {
             *s = t;
         }
+        self.tracer.instant("device_sync", Lane::Control, t, vec![]);
         t
     }
 
@@ -307,6 +414,8 @@ impl Gpu {
             start,
             end,
         });
+        self.tracer
+            .span(name, TraceKind::HostOp, Lane::Host, start, end, vec![]);
         (start, end)
     }
 }

@@ -8,6 +8,7 @@
 
 use crate::cost::KernelCost;
 use crate::device::{Event, Gpu, StreamId};
+use crate::trace::{ArgValue, Lane};
 
 /// A captured sequence of kernels that can be replayed cheaply.
 #[derive(Clone, Debug, Default)]
@@ -37,6 +38,12 @@ impl CudaGraph {
         for k in &self.kernels {
             last = gpu.launch_graphed(stream, k);
         }
+        gpu.trace_mut().instant(
+            "cuda_graph_replay",
+            Lane::Stream(stream.0),
+            last.time(),
+            vec![("kernels", ArgValue::U64(self.kernels.len() as u64))],
+        );
         last
     }
 }

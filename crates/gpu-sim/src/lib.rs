@@ -56,6 +56,7 @@ mod memory;
 mod profiler;
 mod schedule;
 mod time;
+mod trace;
 
 pub use config::DeviceConfig;
 pub use cost::{feature_row_access, AccessShape, KernelCategory, KernelCost, VectorWidth};
@@ -63,5 +64,9 @@ pub use device::{Event, Gpu, StreamId, TransferDir};
 pub use graph_exec::{CudaGraph, GraphBuilder};
 pub use memory::{BufferId, DeviceMemory, OomError};
 pub use profiler::{Breakdown, ProfSnapshot, Profiler, Sample, SampleKind};
-pub use schedule::{schedule_blocks, BalanceReport};
+pub use schedule::{ratio_milli, schedule_blocks, BalanceReport};
 pub use time::SimNanos;
+pub use trace::{
+    export_chrome_trace, json_escape, trace_text_summary, validate_json, ArgValue, Lane,
+    TraceEvent, TraceKind, Tracer,
+};

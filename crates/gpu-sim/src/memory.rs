@@ -41,6 +41,7 @@ pub struct DeviceMemory {
     capacity: u64,
     in_use: u64,
     peak: u64,
+    peak_ever: u64,
     next_id: u64,
     live: HashMap<u64, u64>,
     /// Cumulative counts for reporting.
@@ -55,6 +56,7 @@ impl DeviceMemory {
             capacity,
             in_use: 0,
             peak: 0,
+            peak_ever: 0,
             next_id: 0,
             live: HashMap::new(),
             total_allocs: 0,
@@ -76,6 +78,7 @@ impl DeviceMemory {
         self.live.insert(id, bytes);
         self.in_use += bytes;
         self.peak = self.peak.max(self.in_use);
+        self.peak_ever = self.peak_ever.max(self.in_use);
         self.total_allocs += 1;
         Ok(BufferId(id))
     }
@@ -104,6 +107,12 @@ impl DeviceMemory {
     /// Peak bytes allocated since the last reset.
     pub fn peak(&self) -> u64 {
         self.peak
+    }
+
+    /// All-time high-water mark, immune to [`DeviceMemory::reset_peak`];
+    /// this is the value the trace's `device_mem_in_use` counter peaks at.
+    pub fn peak_ever(&self) -> u64 {
+        self.peak_ever
     }
 
     /// Total capacity in bytes.
@@ -189,6 +198,7 @@ mod tests {
         assert_eq!(m.peak(), 0);
         let _b = m.alloc(100).unwrap();
         assert_eq!(m.peak(), 100);
+        assert_eq!(m.peak_ever(), 800, "all-time high-water survives resets");
     }
 
     #[test]

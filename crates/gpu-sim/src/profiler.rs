@@ -265,11 +265,9 @@ impl Profiler {
                 }
             }
         }
-        out.warp_efficiency_milli = if eff_time == 0 {
-            1000
-        } else {
-            (eff_weight / eff_time) as u32
-        };
+        out.warp_efficiency_milli = eff_weight
+            .checked_div(eff_time)
+            .map_or(1000, |v| v as u32);
         let span_ns = out.span.as_nanos().max(1);
         out.sm_utilization_milli =
             ((union_time(&mut kernel_intervals).as_nanos() as u128 * 1000) / span_ns as u128)
@@ -277,6 +275,48 @@ impl Profiler {
         out.sm_utilization_with_memcpy_milli =
             ((union_time(&mut busy_intervals).as_nanos() as u128 * 1000) / span_ns as u128) as u32;
         out
+    }
+
+    /// Cross-check the aggregate counters against the structured trace: the
+    /// trace's kernel spans must reproduce this profiler's kernel count and
+    /// serialized compute time exactly, and its memcpy spans the transfer
+    /// busy time. Used as the determinism/consistency oracle by the trace
+    /// test suite and the `repro trace` harness.
+    pub fn consistency_check(&self, tracer: &crate::trace::Tracer) -> Result<(), String> {
+        use crate::trace::TraceKind;
+        let b = self.full();
+        let mut kernels = 0u64;
+        let mut kernel_time = SimNanos::ZERO;
+        let mut copy_time = SimNanos::ZERO;
+        for e in tracer.events() {
+            match e.kind {
+                TraceKind::Kernel => {
+                    kernels += 1;
+                    kernel_time += e.dur;
+                }
+                TraceKind::Memcpy => copy_time += e.dur,
+                _ => {}
+            }
+        }
+        if kernels != b.kernel_launches {
+            return Err(format!(
+                "trace kernel spans {kernels} != profiler launches {}",
+                b.kernel_launches
+            ));
+        }
+        if kernel_time != b.compute_total {
+            return Err(format!(
+                "trace kernel time {kernel_time} != profiler compute_total {}",
+                b.compute_total
+            ));
+        }
+        if copy_time != b.transfer_time() {
+            return Err(format!(
+                "trace memcpy time {copy_time} != profiler transfer time {}",
+                b.transfer_time()
+            ));
+        }
+        Ok(())
     }
 
     /// Wall-clock end of the last sample (ZERO when empty).

@@ -45,6 +45,17 @@ impl BalanceReport {
     }
 }
 
+/// Per-mille rendering of a `(num, den)` ratio (1000 = perfectly balanced),
+/// rounded to nearest; used to put the imbalance factor on kernel trace
+/// events without floating-point formatting.
+pub fn ratio_milli(num: u64, den: u64) -> u64 {
+    if den == 0 {
+        1000
+    } else {
+        ((num as u128 * 1000 + den as u128 / 2) / den as u128) as u64
+    }
+}
+
 /// Greedy list scheduling of `block_work` onto `slots` parallel slots, in
 /// hardware issue order (blocks are dispatched in index order, each to the
 /// currently least-loaded slot — the way a GPU's global work distributor
@@ -133,6 +144,15 @@ mod tests {
         sliced.extend(std::iter::repeat(32).take((1000 / 32) + 1));
         let after = schedule_blocks(&sliced, 8).factor();
         assert!(after < before / 2.0, "before={before} after={after}");
+    }
+
+    #[test]
+    fn ratio_milli_rounds_to_nearest() {
+        assert_eq!(ratio_milli(1, 1), 1000);
+        assert_eq!(ratio_milli(3, 2), 1500);
+        assert_eq!(ratio_milli(1, 3), 333);
+        assert_eq!(ratio_milli(2, 3), 667);
+        assert_eq!(ratio_milli(5, 0), 1000, "degenerate ratio is neutral");
     }
 
     #[test]

@@ -1,0 +1,759 @@
+//! Deterministic structured trace of the simulated timeline.
+//!
+//! Every kernel launch, PCIe copy, stream wait, allocation (including the
+//! high-water mark and [`crate::OomError`] hits), CUDA-graph replay and
+//! pipeline/trainer control event is recorded as a [`TraceEvent`] keyed on
+//! [`SimNanos`]. The recorder is the observability substrate the paper's
+//! timeline claims (transfer/compute overlap, pipeline stalls, per-frame
+//! breakdowns — Figures 8, 11 and 12) are checked against.
+//!
+//! ## Determinism contract
+//!
+//! A trace is a **pure function of the simulated clock**: the same program
+//! produces a byte-identical exported trace on every run and under every
+//! `PIPAD_THREADS` setting. Nothing here reads wall-clock time, thread ids,
+//! hashes with randomized state, or any other ambient source; event order is
+//! the (deterministic) program issue order, and [`Tracer::sorted`] imposes a
+//! total `(timestamp, duration desc, lane, sequence)` order on top. The
+//! exported JSON therefore doubles as a whole-stack determinism oracle — see
+//! `tests/trace_golden.rs`.
+//!
+//! ## Export formats
+//!
+//! * [`export_chrome_trace`] — Chrome-trace-format JSON (the "JSON Array
+//!   with metadata" flavor), loadable in `chrome://tracing` and
+//!   [Perfetto](https://ui.perfetto.dev): one *process* per GPU, one
+//!   *thread* per simulated stream / copy engine / host lane, a counter
+//!   track for device memory.
+//! * [`trace_text_summary`] — a compact per-name aggregation for logs.
+//!
+//! The serializer is hand-rolled (no external deps) with fixed, locale-free
+//! formatting; [`validate_json`] is a minimal in-tree well-formedness
+//! checker used by the test suite to keep the exporter honest.
+
+use crate::time::SimNanos;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Which simulated execution lane (a Chrome-trace "thread") an event lives
+/// on. Kernels appear on their issuing stream; copies on their engine.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Lane {
+    /// Host-side operations (graph slicing, partition assembly, …).
+    Host,
+    /// Trainer / pipeline-controller control events.
+    Control,
+    /// Device-memory events and the `device_mem_in_use` counter track.
+    Memory,
+    /// The host→device copy engine.
+    H2D,
+    /// The device→host copy engine.
+    D2H,
+    /// A simulated CUDA stream.
+    Stream(usize),
+}
+
+impl Lane {
+    /// Stable Chrome-trace `tid` for this lane.
+    pub fn tid(self) -> u64 {
+        match self {
+            Lane::Host => 0,
+            Lane::Control => 1,
+            Lane::Memory => 2,
+            Lane::H2D => 3,
+            Lane::D2H => 4,
+            Lane::Stream(i) => 5 + i as u64,
+        }
+    }
+
+    /// Human-readable lane name (the Chrome-trace thread name).
+    pub fn label(self) -> String {
+        match self {
+            Lane::Host => "host".to_string(),
+            Lane::Control => "pipeline".to_string(),
+            Lane::Memory => "memory".to_string(),
+            Lane::H2D => "copy-engine h2d".to_string(),
+            Lane::D2H => "copy-engine d2h".to_string(),
+            Lane::Stream(i) => format!("stream {i}"),
+        }
+    }
+}
+
+/// What a [`TraceEvent`] records.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceKind {
+    /// Kernel execution span.
+    Kernel,
+    /// PCIe copy span.
+    Memcpy,
+    /// Accounted host-operation span.
+    HostOp,
+    /// Control-flow span (epoch, frame, CUDA-graph launch window).
+    Span,
+    /// Point event (stream wait, stage transition, alloc, OOM, decision).
+    Instant,
+    /// Counter sample (device memory in use).
+    Counter,
+}
+
+impl TraceKind {
+    /// Chrome-trace category string.
+    pub fn category(self) -> &'static str {
+        match self {
+            TraceKind::Kernel => "kernel",
+            TraceKind::Memcpy => "memcpy",
+            TraceKind::HostOp => "host",
+            TraceKind::Span => "control",
+            TraceKind::Instant => "instant",
+            TraceKind::Counter => "counter",
+        }
+    }
+
+    /// Whether this kind occupies an interval (Chrome `ph:"X"`).
+    pub fn is_span(self) -> bool {
+        matches!(
+            self,
+            TraceKind::Kernel | TraceKind::Memcpy | TraceKind::HostOp | TraceKind::Span
+        )
+    }
+}
+
+/// A trace argument value, rendered into the Chrome `args` object.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ArgValue {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Float (non-finite values export as `null`).
+    F64(f64),
+    /// Boolean.
+    Bool(bool),
+    /// String.
+    Str(String),
+}
+
+/// One recorded timeline entry.
+#[derive(Clone, Debug)]
+pub struct TraceEvent {
+    /// Event name (kernel name, `memcpy_h2d`, `epoch`, …).
+    pub name: &'static str,
+    /// See [`TraceKind`].
+    pub kind: TraceKind,
+    /// See [`Lane`].
+    pub lane: Lane,
+    /// Simulated start time (or the instant itself).
+    pub ts: SimNanos,
+    /// Span duration; [`SimNanos::ZERO`] for instants and counters.
+    pub dur: SimNanos,
+    /// Ordered key→value details.
+    pub args: Vec<(&'static str, ArgValue)>,
+}
+
+impl TraceEvent {
+    /// Span end (`ts` for zero-duration events).
+    pub fn end(&self) -> SimNanos {
+        self.ts + self.dur
+    }
+}
+
+/// Append-only deterministic event recorder.
+#[derive(Debug, Default)]
+pub struct Tracer {
+    events: Vec<TraceEvent>,
+    counter_peaks: BTreeMap<&'static str, u64>,
+}
+
+impl Tracer {
+    /// Create a new instance.
+    pub fn new() -> Self {
+        Tracer::default()
+    }
+
+    /// All events in program (issue) order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Record a span `[start, end)`.
+    pub fn span(
+        &mut self,
+        name: &'static str,
+        kind: TraceKind,
+        lane: Lane,
+        start: SimNanos,
+        end: SimNanos,
+        args: Vec<(&'static str, ArgValue)>,
+    ) {
+        debug_assert!(end >= start, "span must not end before it starts");
+        debug_assert!(kind.is_span());
+        self.events.push(TraceEvent {
+            name,
+            kind,
+            lane,
+            ts: start,
+            dur: end - start,
+            args,
+        });
+    }
+
+    /// Record a point event.
+    pub fn instant(
+        &mut self,
+        name: &'static str,
+        lane: Lane,
+        ts: SimNanos,
+        args: Vec<(&'static str, ArgValue)>,
+    ) {
+        self.events.push(TraceEvent {
+            name,
+            kind: TraceKind::Instant,
+            lane,
+            ts,
+            dur: SimNanos::ZERO,
+            args,
+        });
+    }
+
+    /// Record a counter sample; the per-name running maximum is tracked as
+    /// the counter's high-water mark.
+    pub fn counter(&mut self, name: &'static str, lane: Lane, ts: SimNanos, value: u64) {
+        let peak = self.counter_peaks.entry(name).or_insert(0);
+        *peak = (*peak).max(value);
+        self.events.push(TraceEvent {
+            name,
+            kind: TraceKind::Counter,
+            lane,
+            ts,
+            dur: SimNanos::ZERO,
+            args: vec![("value", ArgValue::U64(value))],
+        });
+    }
+
+    /// High-water mark of a counter track (0 if never sampled).
+    pub fn counter_peak(&self, name: &str) -> u64 {
+        self.counter_peaks.get(name).copied().unwrap_or(0)
+    }
+
+    /// Events in the canonical export order: nondecreasing timestamp, then
+    /// longer spans first (so enclosing spans precede their children), then
+    /// lane, then issue order. Stable and fully deterministic.
+    pub fn sorted(&self) -> Vec<&TraceEvent> {
+        let mut v: Vec<(usize, &TraceEvent)> = self.events.iter().enumerate().collect();
+        v.sort_by(|(ia, a), (ib, b)| {
+            a.ts.cmp(&b.ts)
+                .then(b.dur.cmp(&a.dur))
+                .then(a.lane.tid().cmp(&b.lane.tid()))
+                .then(ia.cmp(ib))
+        });
+        v.into_iter().map(|(_, e)| e).collect()
+    }
+}
+
+// ---- JSON serialization -------------------------------------------------
+
+/// Escape a string for a JSON string literal (quotes not included).
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render nanoseconds as Chrome-trace microseconds with a fixed three
+/// decimal places (`1500` ns → `"1.500"`). Fixed-width fractions keep the
+/// output byte-stable; exact because 1 us = 1000 ns.
+pub fn fmt_micros(ns: SimNanos) -> String {
+    format!("{}.{:03}", ns.as_nanos() / 1_000, ns.as_nanos() % 1_000)
+}
+
+fn fmt_arg(v: &ArgValue) -> String {
+    match v {
+        ArgValue::U64(x) => format!("{x}"),
+        ArgValue::I64(x) => format!("{x}"),
+        // `{:?}` is Rust's shortest round-trip form: deterministic, and
+        // valid JSON for finite values (`1.0`, exponents as `1e-10`).
+        ArgValue::F64(x) if x.is_finite() => format!("{x:?}"),
+        ArgValue::F64(_) => "null".to_string(),
+        ArgValue::Bool(b) => format!("{b}"),
+        ArgValue::Str(s) => format!("\"{}\"", json_escape(s)),
+    }
+}
+
+fn fmt_args(args: &[(&'static str, ArgValue)]) -> String {
+    let mut out = String::from("{");
+    for (i, (k, v)) in args.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{}\":{}", json_escape(k), fmt_arg(v));
+    }
+    out.push('}');
+    out
+}
+
+/// Export a tracer's events as Chrome-trace-format JSON ("JSON Object"
+/// flavor with a `traceEvents` array). `pid` distinguishes GPUs when traces
+/// from several devices are concatenated by the caller.
+pub fn export_chrome_trace(tracer: &Tracer, pid: u64) -> String {
+    let sorted = tracer.sorted();
+    let mut out = String::with_capacity(128 + sorted.len() * 96);
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+    let _ = write!(
+        out,
+        "{{\"ph\":\"M\",\"pid\":{pid},\"name\":\"process_name\",\"args\":{{\"name\":\"pipad-sim gpu{pid}\"}}}}"
+    );
+    // One thread-name metadata record per lane that actually appears.
+    let mut lanes: BTreeMap<u64, Lane> = BTreeMap::new();
+    for e in &sorted {
+        lanes.entry(e.lane.tid()).or_insert(e.lane);
+    }
+    for (tid, lane) in &lanes {
+        let _ = write!(
+            out,
+            ",\n{{\"ph\":\"M\",\"pid\":{pid},\"tid\":{tid},\"name\":\"thread_name\",\"args\":{{\"name\":\"{}\"}}}}",
+            json_escape(&lane.label())
+        );
+    }
+    for e in &sorted {
+        let name = json_escape(e.name);
+        let cat = e.kind.category();
+        let tid = e.lane.tid();
+        let ts = fmt_micros(e.ts);
+        match e.kind {
+            k if k.is_span() => {
+                let _ = write!(
+                    out,
+                    ",\n{{\"name\":\"{name}\",\"cat\":\"{cat}\",\"ph\":\"X\",\"pid\":{pid},\"tid\":{tid},\"ts\":{ts},\"dur\":{}",
+                    fmt_micros(e.dur)
+                );
+            }
+            TraceKind::Counter => {
+                let _ = write!(
+                    out,
+                    ",\n{{\"name\":\"{name}\",\"cat\":\"{cat}\",\"ph\":\"C\",\"pid\":{pid},\"tid\":{tid},\"ts\":{ts}"
+                );
+            }
+            _ => {
+                let _ = write!(
+                    out,
+                    ",\n{{\"name\":\"{name}\",\"cat\":\"{cat}\",\"ph\":\"i\",\"s\":\"t\",\"pid\":{pid},\"tid\":{tid},\"ts\":{ts}"
+                );
+            }
+        }
+        if !e.args.is_empty() {
+            let _ = write!(out, ",\"args\":{}", fmt_args(&e.args));
+        }
+        out.push('}');
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+/// Compact per-name aggregation of a trace, for logs and quick diffing.
+pub fn trace_text_summary(tracer: &Tracer) -> String {
+    let mut out = String::new();
+    let events = tracer.events();
+    let wall_start = events.iter().map(|e| e.ts).min().unwrap_or(SimNanos::ZERO);
+    let wall_end = events
+        .iter()
+        .map(|e| e.end())
+        .max()
+        .unwrap_or(SimNanos::ZERO);
+    let _ = writeln!(
+        out,
+        "== trace summary: {} events, span {} ==",
+        events.len(),
+        wall_end - wall_start
+    );
+    // (kind, name) -> (count, total duration)
+    let mut rows: BTreeMap<(&'static str, &'static str), (u64, SimNanos)> = BTreeMap::new();
+    for e in events {
+        let row = rows
+            .entry((e.kind.category(), e.name))
+            .or_insert((0, SimNanos::ZERO));
+        row.0 += 1;
+        row.1 += e.dur;
+    }
+    let _ = writeln!(out, "{:<10} {:<28} {:>8} {:>14}", "kind", "name", "count", "total");
+    for ((kind, name), (count, total)) in &rows {
+        let _ = writeln!(out, "{kind:<10} {name:<28} {count:>8} {total:>14}");
+    }
+    let hw = tracer.counter_peak("device_mem_in_use");
+    if hw > 0 {
+        let _ = writeln!(out, "device memory high-water: {hw} B");
+    }
+    out
+}
+
+// ---- minimal JSON well-formedness checker -------------------------------
+
+struct JsonLint<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+/// Check that `s` is one syntactically well-formed JSON value (objects,
+/// arrays, strings with escapes, numbers, `true`/`false`/`null`) with
+/// nothing but whitespace after it. In-tree stand-in for a JSON parser so
+/// exporter tests need no external dependency.
+pub fn validate_json(s: &str) -> Result<(), String> {
+    let mut p = JsonLint {
+        b: s.as_bytes(),
+        i: 0,
+    };
+    p.ws();
+    p.value()?;
+    p.ws();
+    if p.i != p.b.len() {
+        return Err(format!("trailing garbage at byte {}", p.i));
+    }
+    Ok(())
+}
+
+impl JsonLint<'_> {
+    fn ws(&mut self) {
+        while self.i < self.b.len() && matches!(self.b[self.i], b' ' | b'\t' | b'\n' | b'\r') {
+            self.i += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.b.get(self.i).copied()
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), String> {
+        if self.peek() == Some(c) {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected '{}' at byte {}, found {:?}",
+                c as char,
+                self.i,
+                self.peek().map(|b| b as char)
+            ))
+        }
+    }
+
+    fn value(&mut self) -> Result<(), String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => self.string(),
+            Some(b't') => self.literal("true"),
+            Some(b'f') => self.literal("false"),
+            Some(b'n') => self.literal("null"),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            other => Err(format!("unexpected {:?} at byte {}", other.map(|b| b as char), self.i)),
+        }
+    }
+
+    fn literal(&mut self, lit: &str) -> Result<(), String> {
+        if self.b[self.i..].starts_with(lit.as_bytes()) {
+            self.i += lit.len();
+            Ok(())
+        } else {
+            Err(format!("bad literal at byte {}", self.i))
+        }
+    }
+
+    fn object(&mut self) -> Result<(), String> {
+        self.expect(b'{')?;
+        self.ws();
+        if self.peek() == Some(b'}') {
+            self.i += 1;
+            return Ok(());
+        }
+        loop {
+            self.ws();
+            self.string()?;
+            self.ws();
+            self.expect(b':')?;
+            self.ws();
+            self.value()?;
+            self.ws();
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b'}') => {
+                    self.i += 1;
+                    return Ok(());
+                }
+                other => {
+                    return Err(format!(
+                        "expected ',' or '}}' at byte {}, found {:?}",
+                        self.i,
+                        other.map(|b| b as char)
+                    ))
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<(), String> {
+        self.expect(b'[')?;
+        self.ws();
+        if self.peek() == Some(b']') {
+            self.i += 1;
+            return Ok(());
+        }
+        loop {
+            self.ws();
+            self.value()?;
+            self.ws();
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b']') => {
+                    self.i += 1;
+                    return Ok(());
+                }
+                other => {
+                    return Err(format!(
+                        "expected ',' or ']' at byte {}, found {:?}",
+                        self.i,
+                        other.map(|b| b as char)
+                    ))
+                }
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<(), String> {
+        self.expect(b'"')?;
+        while let Some(c) = self.peek() {
+            match c {
+                b'"' => {
+                    self.i += 1;
+                    return Ok(());
+                }
+                b'\\' => {
+                    self.i += 1;
+                    match self.peek() {
+                        Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => {
+                            self.i += 1;
+                        }
+                        Some(b'u') => {
+                            self.i += 1;
+                            for _ in 0..4 {
+                                match self.peek() {
+                                    Some(h) if h.is_ascii_hexdigit() => self.i += 1,
+                                    _ => return Err(format!("bad \\u escape at byte {}", self.i)),
+                                }
+                            }
+                        }
+                        _ => return Err(format!("bad escape at byte {}", self.i)),
+                    }
+                }
+                c if c < 0x20 => {
+                    return Err(format!("raw control byte {c:#x} in string at {}", self.i))
+                }
+                _ => self.i += 1,
+            }
+        }
+        Err("unterminated string".to_string())
+    }
+
+    fn number(&mut self) -> Result<(), String> {
+        if self.peek() == Some(b'-') {
+            self.i += 1;
+        }
+        let mut digits = 0;
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.i += 1;
+            digits += 1;
+        }
+        if digits == 0 {
+            return Err(format!("number with no digits at byte {}", self.i));
+        }
+        if self.peek() == Some(b'.') {
+            self.i += 1;
+            let mut frac = 0;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.i += 1;
+                frac += 1;
+            }
+            if frac == 0 {
+                return Err(format!("number with empty fraction at byte {}", self.i));
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.i += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.i += 1;
+            }
+            let mut exp = 0;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.i += 1;
+                exp += 1;
+            }
+            if exp == 0 {
+                return Err(format!("number with empty exponent at byte {}", self.i));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping_covers_quotes_backslashes_and_controls() {
+        assert_eq!(json_escape("plain"), "plain");
+        assert_eq!(json_escape("a\"b"), "a\\\"b");
+        assert_eq!(json_escape("a\\b"), "a\\\\b");
+        assert_eq!(json_escape("a\nb\tc\r"), "a\\nb\\tc\\r");
+        assert_eq!(json_escape("\u{0001}"), "\\u0001");
+        assert_eq!(json_escape("ünïcødé"), "ünïcødé");
+    }
+
+    #[test]
+    fn micros_formatting_is_fixed_width_fraction() {
+        assert_eq!(fmt_micros(SimNanos(0)), "0.000");
+        assert_eq!(fmt_micros(SimNanos(1)), "0.001");
+        assert_eq!(fmt_micros(SimNanos(1_500)), "1.500");
+        assert_eq!(fmt_micros(SimNanos(12_030_007)), "12030.007");
+    }
+
+    #[test]
+    fn arg_values_render_as_valid_json() {
+        assert_eq!(fmt_arg(&ArgValue::U64(7)), "7");
+        assert_eq!(fmt_arg(&ArgValue::I64(-7)), "-7");
+        assert_eq!(fmt_arg(&ArgValue::Bool(true)), "true");
+        assert_eq!(fmt_arg(&ArgValue::F64(0.5)), "0.5");
+        assert_eq!(fmt_arg(&ArgValue::F64(3.0)), "3.0");
+        assert_eq!(fmt_arg(&ArgValue::F64(f64::NAN)), "null");
+        assert_eq!(fmt_arg(&ArgValue::F64(f64::INFINITY)), "null");
+        assert_eq!(fmt_arg(&ArgValue::Str("x\"y".into())), "\"x\\\"y\"");
+        for v in [
+            fmt_arg(&ArgValue::F64(1e-10)),
+            fmt_arg(&ArgValue::F64(-2.25)),
+            fmt_args(&[("a", ArgValue::U64(1)), ("b", ArgValue::Str("s".into()))]),
+        ] {
+            validate_json(&v).unwrap();
+        }
+    }
+
+    #[test]
+    fn sorted_orders_by_time_then_encloser_first() {
+        let mut t = Tracer::new();
+        t.instant("late", Lane::Control, SimNanos(50), vec![]);
+        t.span(
+            "inner",
+            TraceKind::Span,
+            Lane::Control,
+            SimNanos(10),
+            SimNanos(20),
+            vec![],
+        );
+        t.span(
+            "outer",
+            TraceKind::Span,
+            Lane::Control,
+            SimNanos(10),
+            SimNanos(100),
+            vec![],
+        );
+        let names: Vec<&str> = t.sorted().iter().map(|e| e.name).collect();
+        assert_eq!(names, ["outer", "inner", "late"]);
+    }
+
+    #[test]
+    fn counter_peak_tracks_running_max() {
+        let mut t = Tracer::new();
+        t.counter("device_mem_in_use", Lane::Memory, SimNanos(0), 10);
+        t.counter("device_mem_in_use", Lane::Memory, SimNanos(1), 90);
+        t.counter("device_mem_in_use", Lane::Memory, SimNanos(2), 40);
+        assert_eq!(t.counter_peak("device_mem_in_use"), 90);
+        assert_eq!(t.counter_peak("missing"), 0);
+    }
+
+    #[test]
+    fn export_is_well_formed_and_deterministic() {
+        let build = || {
+            let mut t = Tracer::new();
+            t.span(
+                "k",
+                TraceKind::Kernel,
+                Lane::Stream(0),
+                SimNanos(0),
+                SimNanos(100),
+                vec![("flops", ArgValue::U64(42))],
+            );
+            t.span(
+                "memcpy_h2d",
+                TraceKind::Memcpy,
+                Lane::H2D,
+                SimNanos(0),
+                SimNanos(50),
+                vec![("bytes", ArgValue::U64(1024)), ("pinned", ArgValue::Bool(true))],
+            );
+            t.instant("oom", Lane::Memory, SimNanos(75), vec![("requested", ArgValue::U64(9))]);
+            t.counter("device_mem_in_use", Lane::Memory, SimNanos(75), 7);
+            export_chrome_trace(&t, 0)
+        };
+        let a = build();
+        let b = build();
+        assert_eq!(a, b, "export must be byte-identical across runs");
+        validate_json(&a).unwrap();
+        assert!(a.contains("\"ph\":\"X\""));
+        assert!(a.contains("\"ph\":\"C\""));
+        assert!(a.contains("\"ph\":\"i\""));
+        assert!(a.contains("\"thread_name\""));
+    }
+
+    #[test]
+    fn summary_aggregates_by_name() {
+        let mut t = Tracer::new();
+        for i in 0..3u64 {
+            t.span(
+                "k",
+                TraceKind::Kernel,
+                Lane::Stream(0),
+                SimNanos(i * 10),
+                SimNanos(i * 10 + 5),
+                vec![],
+            );
+        }
+        let s = trace_text_summary(&t);
+        assert!(s.contains("3 events"));
+        assert!(s.contains("kernel"));
+        assert!(s.contains(" 3 "), "{s}");
+    }
+
+    #[test]
+    fn json_lint_accepts_and_rejects() {
+        validate_json("{\"a\":[1,2.5,-3,1e-4,true,null,\"s\\n\"]}").unwrap();
+        validate_json("  [ ]  ").unwrap();
+        assert!(validate_json("{\"a\":1,}").is_err());
+        assert!(validate_json("[1 2]").is_err());
+        assert!(validate_json("{\"a\" 1}").is_err());
+        assert!(validate_json("\"unterminated").is_err());
+        assert!(validate_json("01x").is_err());
+        assert!(validate_json("{}extra").is_err());
+        assert!(validate_json("1.").is_err());
+        assert!(validate_json("1e").is_err());
+    }
+}

@@ -181,10 +181,8 @@ pub fn spmm_weighted(
             for r in rows {
                 // SAFETY: bands own disjoint output-row ranges.
                 let out_row = unsafe { shared.slice(r * n_cols..(r + 1) * n_cols) };
-                let mut k = offsets[r] as usize;
-                for &c in csr.row(r) {
+                for (k, &c) in (offsets[r] as usize..).zip(csr.row(r)) {
                     let w = values[k];
-                    k += 1;
                     for (o, &v) in out_row.iter_mut().zip(xh.row(c as usize)) {
                         *o += w * v;
                     }
@@ -270,8 +268,7 @@ pub fn spmm_sliced_parallel_values(
             // SAFETY: row-aligned bands own disjoint output rows, so only
             // this band materializes `&mut` views of this row.
             let out_row = unsafe { shared.slice(row * width..(row + 1) * width) };
-            let mut k = slice_starts[i];
-            for &c in cols {
+            for (k, &c) in (slice_starts[i]..).zip(cols) {
                 for (m, vals) in members.iter().enumerate() {
                     let w = vals[k];
                     let src = &ch.row(c as usize)[m * feat_dim..(m + 1) * feat_dim];
@@ -280,7 +277,6 @@ pub fn spmm_sliced_parallel_values(
                         *o += w * v;
                     }
                 }
-                k += 1;
             }
         }
     };

@@ -116,7 +116,7 @@ pub fn pipad_access_plan(s_per: usize, feat_dim: usize) -> PipadAccessPlan {
     let coalesced_dim = (s_per * feat_dim) as u32;
     let vector = VectorWidth::for_dim(coalesced_dim);
     let coalesce_num = if coalesced_dim < 32 {
-        (32 / coalesced_dim).min(4).max(1)
+        (32 / coalesced_dim).clamp(1, 4)
     } else {
         1
     };

@@ -356,6 +356,10 @@ impl<'a, T> DisjointMut<'a, T> {
     /// # Safety
     /// `range` must be in bounds and must not overlap any range handed
     /// out to another thread that is still using it.
+    // `&mut` out of `&self` is this type's whole purpose: the caller's
+    // disjointness contract (above) is what makes it sound, which the
+    // borrow checker cannot see.
+    #[allow(clippy::mut_from_ref)]
     pub unsafe fn slice(&self, range: Range<usize>) -> &mut [T] {
         debug_assert!(range.start <= range.end && range.end <= self.len);
         std::slice::from_raw_parts_mut(self.ptr.add(range.start), range.end - range.start)

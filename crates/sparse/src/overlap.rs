@@ -122,9 +122,12 @@ pub fn overlap_rate(snaps: &[&Csr]) -> f64 {
     }
 }
 
+/// An edge list in `(row, col)` pairs.
+pub type EdgeList = Vec<(u32, u32)>;
+
 /// ESDG-style graph difference: `(added, removed)` edges going from `a`
 /// to `b`. A diff-based transfer ships only these plus bookkeeping.
-pub fn graph_diff(a: &Csr, b: &Csr) -> (Vec<(u32, u32)>, Vec<(u32, u32)>) {
+pub fn graph_diff(a: &Csr, b: &Csr) -> (EdgeList, EdgeList) {
     assert_eq!(a.n_rows(), b.n_rows());
     let mut added = Vec::new();
     let mut removed = Vec::new();

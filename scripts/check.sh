@@ -1,15 +1,18 @@
 #!/usr/bin/env bash
-# Tier-1 gate plus the host-parallel determinism contract.
+# Tier-1 gate plus the determinism contracts.
 #
-# Builds the workspace, runs the full test suite, then re-runs the
-# bit-exactness suite under forced thread counts (PIPAD_THREADS=1 and =4)
-# to prove parallel execution is bit-identical to serial regardless of the
-# ambient core count.
+# Builds the workspace, lints it, runs the full test suite, then re-runs
+# the two determinism suites under forced thread counts (PIPAD_THREADS=1
+# and =4): the host-parallel bit-exactness contract and the trace-export
+# byte-identity contract (golden Chrome-trace regression).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 echo "== cargo build --release =="
 cargo build --release
+
+echo "== cargo clippy --workspace -- -D warnings =="
+cargo clippy --workspace -- -D warnings
 
 echo "== cargo test -q =="
 cargo test -q
@@ -19,5 +22,11 @@ PIPAD_THREADS=1 cargo test -q --test host_parallel_exactness
 
 echo "== bit-exactness @ PIPAD_THREADS=4 =="
 PIPAD_THREADS=4 cargo test -q --test host_parallel_exactness
+
+echo "== trace determinism @ PIPAD_THREADS=1 =="
+PIPAD_THREADS=1 cargo test -q --test trace_golden
+
+echo "== trace determinism @ PIPAD_THREADS=4 =="
+PIPAD_THREADS=4 cargo test -q --test trace_golden
 
 echo "== all checks passed =="

@@ -146,3 +146,86 @@ fn graph_scope_only_changes_overheads() {
     assert_eq!(busy_graph, busy_plain, "kernel busy time identical");
     assert_eq!(txn_graph, txn_plain, "traffic identical");
 }
+
+// ---- trace layer properties -----------------------------------------------
+//
+// The structured trace recorder (gpu_sim::trace) observes the same timeline
+// the profiler accounts for; these properties pin the invariants the Chrome
+// export relies on: spans are well-formed, one lane never overlaps itself,
+// export order is nondecreasing in time, and per-kernel span durations sum
+// to the profiler's independent totals.
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn trace_spans_are_causal_and_consistent(
+        work in proptest::collection::vec(
+            (1u64..500_000, 1u64..50_000, 0usize..2, 0usize..3), 1..30)
+    ) {
+        let mut gpu = Gpu::new(DeviceConfig::v100());
+        let s0 = gpu.default_stream();
+        let s1 = gpu.create_stream();
+        for (flops, txns, which, op) in work {
+            let s = if which == 0 { s0 } else { s1 };
+            match op {
+                0 => {
+                    gpu.launch(s, kernel(flops, txns));
+                }
+                1 => {
+                    gpu.h2d(s, txns + 1, true);
+                }
+                _ => {
+                    gpu.d2h(s, txns + 1, false);
+                }
+            }
+        }
+        gpu.synchronize();
+
+        // every span ends at or after it begins
+        for e in gpu.trace().events() {
+            prop_assert!(e.end() >= e.ts);
+        }
+        // export order is nondecreasing in time
+        let sorted = gpu.trace().sorted();
+        for w in sorted.windows(2) {
+            prop_assert!(w[1].ts >= w[0].ts, "export order regressed in time");
+        }
+        // spans that share a lane never overlap (kernels serialize on the
+        // compute unit, copies serialize per engine)
+        let mut by_lane: std::collections::BTreeMap<u64, Vec<(SimNanos, SimNanos)>> =
+            std::collections::BTreeMap::new();
+        for e in gpu.trace().events() {
+            if e.kind.is_span() {
+                by_lane.entry(e.lane.tid()).or_default().push((e.ts, e.end()));
+            }
+        }
+        for spans in by_lane.values_mut() {
+            spans.sort();
+            for w in spans.windows(2) {
+                prop_assert!(w[1].0 >= w[0].1, "spans overlap on one lane: {w:?}");
+            }
+        }
+        // kernel/memcpy span totals equal the profiler's accounting
+        let consistency = gpu.profiler().consistency_check(gpu.trace());
+        prop_assert!(consistency.is_ok(), "{consistency:?}");
+    }
+
+    #[test]
+    fn trace_export_is_a_pure_function_of_the_workload(
+        work in proptest::collection::vec((1u64..200_000, 1u64..20_000), 1..15)
+    ) {
+        let run = |work: &[(u64, u64)]| {
+            let mut gpu = Gpu::new(DeviceConfig::v100());
+            let s = gpu.default_stream();
+            for &(flops, txns) in work {
+                gpu.launch(s, kernel(flops, txns));
+            }
+            gpu.synchronize();
+            pipad_repro::gpu_sim::export_chrome_trace(gpu.trace(), 0)
+        };
+        let a = run(&work);
+        let b = run(&work);
+        prop_assert_eq!(a, b);
+    }
+}

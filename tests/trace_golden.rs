@@ -1,0 +1,112 @@
+//! Golden-trace regression and trace-determinism gates.
+//!
+//! Two layers of pinning:
+//!
+//! 1. a hand-driven device workload whose exported Chrome-trace JSON is
+//!    checked byte-for-byte against `tests/golden/trace_tiny.json` — any
+//!    change to event naming, ordering, number formatting or the export
+//!    envelope shows up as a diff of that file;
+//! 2. a full `train_pipad` run whose exported trace must be byte-identical
+//!    across repeated runs and across host-pool thread counts (the trace is
+//!    a pure function of the simulated clock, which the host-parallel layer
+//!    does not perturb).
+
+use pipad::{train_pipad, PipadConfig};
+use pipad_dyngraph::{DatasetId, Scale};
+use pipad_gpu_sim::{
+    export_chrome_trace, trace_text_summary, validate_json, DeviceConfig, Gpu, KernelCategory,
+    KernelCost, SimNanos,
+};
+use pipad_models::{ModelKind, TrainingConfig};
+use pipad_pool::with_threads;
+
+/// A miniature pipelined step: pinned upload on a copy stream, dependent
+/// kernel on the default stream, pageable readback, one host-side op.
+fn tiny_workload() -> Gpu {
+    let mut gpu = Gpu::new(DeviceConfig::v100());
+    let compute = gpu.default_stream();
+    let copy = gpu.create_stream();
+    let buf = gpu.alloc(1 << 20).expect("alloc");
+    gpu.h2d(copy, 1 << 20, true);
+    let staged = gpu.record_event(copy);
+    gpu.wait_event(compute, staged);
+    gpu.launch(
+        compute,
+        KernelCost::new("axpy", KernelCategory::Elementwise)
+            .flops(1 << 18)
+            .gmem(1 << 13, 1 << 13)
+            .uniform_blocks(64, 4096),
+    );
+    let (h0, _) = gpu.host_op("loss_host", gpu.now(), SimNanos::from_micros(3));
+    let _ = h0;
+    gpu.d2h(compute, 1 << 10, false);
+    gpu.free(buf);
+    gpu.synchronize();
+    gpu
+}
+
+#[test]
+fn tiny_trace_matches_golden() {
+    let gpu = tiny_workload();
+    let got = export_chrome_trace(gpu.trace(), 0);
+    validate_json(&got).expect("well-formed");
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/trace_tiny.json");
+        std::fs::write(path, &got).expect("write golden");
+        return;
+    }
+    let want = include_str!("golden/trace_tiny.json");
+    assert_eq!(
+        got, want,
+        "exported trace diverged from tests/golden/trace_tiny.json; if the \
+         change is intentional, rerun with UPDATE_GOLDEN=1 and review the diff"
+    );
+}
+
+#[test]
+fn tiny_trace_summary_is_stable() {
+    let gpu = tiny_workload();
+    let a = trace_text_summary(gpu.trace());
+    let b = trace_text_summary(tiny_workload().trace());
+    assert_eq!(a, b);
+    assert!(a.contains("device_mem_in_use"), "{a}");
+}
+
+fn pipeline_trace() -> String {
+    let graph = DatasetId::Covid19England.gen_config(Scale::Tiny).generate();
+    let cfg = TrainingConfig {
+        window: 8,
+        epochs: 4,
+        preparing_epochs: 2,
+        lr: 0.01,
+        seed: 7,
+    };
+    let mut gpu = Gpu::new(DeviceConfig::v100());
+    train_pipad(
+        &mut gpu,
+        ModelKind::TGcn,
+        &graph,
+        8,
+        &cfg,
+        &PipadConfig::default(),
+    )
+    .expect("train");
+    gpu.profiler()
+        .consistency_check(gpu.trace())
+        .expect("trace agrees with profiler");
+    export_chrome_trace(gpu.trace(), 0)
+}
+
+#[test]
+fn pipeline_trace_is_byte_identical_across_runs_and_threads() {
+    let base = pipeline_trace();
+    validate_json(&base).expect("well-formed");
+    assert_eq!(base, pipeline_trace(), "same-process rerun diverged");
+    for threads in [1usize, 4] {
+        let under_pool = with_threads(threads, pipeline_trace);
+        assert_eq!(
+            base, under_pool,
+            "trace diverged under a {threads}-thread host pool"
+        );
+    }
+}

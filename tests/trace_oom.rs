@@ -1,0 +1,85 @@
+//! OOM-path observability: when device allocation fails, the trace must
+//! record the failure (an `alloc_oom` instant with the requested size and
+//! occupancy at the point of failure) and the `device_mem_in_use` counter's
+//! high-water mark must equal the memory subsystem's all-time peak.
+
+use pipad::{train_pipad, PipadConfig};
+use pipad_dyngraph::{DatasetId, Scale};
+use pipad_gpu_sim::{DeviceConfig, Gpu, TraceKind};
+use pipad_models::{ModelKind, TrainingConfig};
+
+fn small_device(capacity: u64) -> Gpu {
+    let mut cfg = DeviceConfig::v100();
+    cfg.capacity_bytes = capacity;
+    Gpu::new(cfg)
+}
+
+#[test]
+fn failed_alloc_is_traced_with_occupancy() {
+    let mut gpu = small_device(1 << 20);
+    let a = gpu.alloc(512 << 10).expect("first alloc fits");
+    let _b = gpu.alloc(256 << 10).expect("second alloc fits");
+    let err = gpu.alloc(512 << 10).expect_err("third alloc must OOM");
+    assert_eq!(err.requested, 512 << 10);
+
+    let ooms: Vec<_> = gpu
+        .trace()
+        .events()
+        .iter()
+        .filter(|e| e.name == "alloc_oom")
+        .collect();
+    assert_eq!(ooms.len(), 1, "exactly one OOM instant");
+    let oom = ooms[0];
+    assert_eq!(oom.kind, TraceKind::Instant);
+    let arg = |name: &str| {
+        oom.args
+            .iter()
+            .find(|(n, _)| *n == name)
+            .unwrap_or_else(|| panic!("missing arg {name}"))
+            .1
+            .clone()
+    };
+    assert_eq!(format!("{:?}", arg("requested")), "U64(524288)");
+    assert_eq!(format!("{:?}", arg("in_use")), "U64(786432)");
+    assert_eq!(format!("{:?}", arg("capacity")), "U64(1048576)");
+
+    // Freeing after the failure must not disturb the recorded high water.
+    gpu.free(a);
+    assert_eq!(
+        gpu.trace().counter_peak("device_mem_in_use"),
+        gpu.mem().peak_ever(),
+        "trace high-water must equal the memory subsystem's all-time peak"
+    );
+    assert_eq!(gpu.mem().peak_ever(), 768 << 10);
+}
+
+#[test]
+fn training_oom_surfaces_in_trace() {
+    // 64 KiB cannot hold even the model weights of a Tiny run.
+    let mut gpu = small_device(64 << 10);
+    let graph = DatasetId::Covid19England.gen_config(Scale::Tiny).generate();
+    let cfg = TrainingConfig {
+        window: 8,
+        epochs: 2,
+        preparing_epochs: 1,
+        lr: 0.01,
+        seed: 7,
+    };
+    let res = train_pipad(
+        &mut gpu,
+        ModelKind::TGcn,
+        &graph,
+        64,
+        &cfg,
+        &PipadConfig::default(),
+    );
+    assert!(res.is_err(), "64 KiB device must OOM");
+    assert!(
+        gpu.trace().events().iter().any(|e| e.name == "alloc_oom"),
+        "the aborted run must leave an alloc_oom instant in the trace"
+    );
+    assert_eq!(
+        gpu.trace().counter_peak("device_mem_in_use"),
+        gpu.mem().peak_ever()
+    );
+}
