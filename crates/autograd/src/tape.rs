@@ -201,6 +201,26 @@ impl Tape {
         Var(self.nodes.len() - 1)
     }
 
+    /// Record a kernel-computed value. This is the NaN-poison choke point:
+    /// if the fault layer armed a poison on the producing launch, the
+    /// output is replaced with NaNs before it enters the tape — exactly
+    /// what a corrupted kernel write would look like. Inputs and params
+    /// bypass this (poison targets kernel outputs, not uploaded data).
+    fn push_computed(
+        &mut self,
+        gpu: &mut Gpu,
+        mut value: DeviceMatrix,
+        op: Op,
+        requires_grad: bool,
+        category: KernelCategory,
+    ) -> Var {
+        if gpu.take_poison_pending() {
+            let (r, c) = value.host().shape();
+            value.store(Matrix::full(r, c, f32::NAN));
+        }
+        self.push_owned(value, op, requires_grad, category)
+    }
+
     // ---- leaves ----------------------------------------------------------
 
     /// Register a device-resident value with no gradient (data).
@@ -249,7 +269,7 @@ impl Tape {
             k::gemm_device(gpu, self.stream, &a, &b, category)?
         };
         let rg = self.requires(x) || self.requires(w);
-        Ok(self.push_owned(out, Op::MatMul(x, w), rg, category))
+        Ok(self.push_computed(gpu, out, Op::MatMul(x, w), rg, category))
     }
 
     /// Aggregation over a CSR adjacency. `adj` must be structurally
@@ -270,7 +290,7 @@ impl Tape {
             }
         };
         let rg = self.requires(x);
-        Ok(self.push_owned(out, Op::Spmm { adj, x, kernel }, rg, KernelCategory::Aggregation))
+        Ok(self.push_computed(gpu, out, Op::Spmm { adj, x, kernel }, rg, KernelCategory::Aggregation))
     }
 
     /// PiPAD's parallel aggregation over a sliced adjacency and coalescent
@@ -288,7 +308,8 @@ impl Tape {
             k::spmm_sliced_parallel(gpu, self.stream, &handle, &dx, s_per)?
         };
         let rg = self.requires(x);
-        Ok(self.push_owned(
+        Ok(self.push_computed(
+            gpu,
             out,
             Op::SpmmSliced { adj, x, s_per },
             rg,
@@ -380,7 +401,8 @@ impl Tape {
         let out = k::row_scale_multi(gpu, s, &raw, &inv_degs, cat)?;
         raw.free(gpu);
         let rg = xs.iter().any(|&x| self.requires(x));
-        Ok(self.push_owned(
+        Ok(self.push_computed(
+            gpu,
             out,
             Op::SpmmPartition {
                 overlap,
@@ -425,7 +447,8 @@ impl Tape {
         // leaky-relu mask in backward: raw > 0 ⇔ pre-activation > 0 when
         // negative_slope > 0.
         let rg = self.requires(x) || self.requires(l) || self.requires(r);
-        Ok(self.push_owned(
+        Ok(self.push_computed(
+            gpu,
             out,
             Op::GatAggregate {
                 adj,
@@ -453,7 +476,7 @@ impl Tape {
             k::row_scale(gpu, self.stream, &dx, &factors, KernelCategory::Aggregation)?
         };
         let rg = self.requires(x);
-        Ok(self.push_owned(out, Op::RowScale { x, factors }, rg, KernelCategory::Aggregation))
+        Ok(self.push_computed(gpu, out, Op::RowScale { x, factors }, rg, KernelCategory::Aggregation))
     }
 
     fn binary(
@@ -470,7 +493,7 @@ impl Tape {
             f(gpu, self.stream, &da, &db, category)?
         };
         let rg = self.requires(a) || self.requires(b);
-        Ok(self.push_owned(out, op, rg, category))
+        Ok(self.push_computed(gpu, out, op, rg, category))
     }
 
     /// Add.
@@ -508,7 +531,7 @@ impl Tape {
             out.store(fixed);
         }
         let rg = self.requires(x);
-        Ok(self.push_owned(out, Op::AffineConst { x, mul }, rg, category))
+        Ok(self.push_computed(gpu, out, Op::AffineConst { x, mul }, rg, category))
     }
 
     /// Broadcast bias add (`b` is `1 × n`).
@@ -518,7 +541,7 @@ impl Tape {
             k::add_bias(gpu, self.stream, &dx, &db, category)?
         };
         let rg = self.requires(x) || self.requires(b);
-        Ok(self.push_owned(out, Op::AddBias { x, b }, rg, category))
+        Ok(self.push_computed(gpu, out, Op::AddBias { x, b }, rg, category))
     }
 
     fn unary(
@@ -534,7 +557,7 @@ impl Tape {
             f(gpu, self.stream, &dx, category)?
         };
         let rg = self.requires(x);
-        Ok(self.push_owned(out, op, rg, category))
+        Ok(self.push_computed(gpu, out, op, rg, category))
     }
 
     /// Sigmoid.
@@ -566,7 +589,7 @@ impl Tape {
             k::concat_cols(gpu, self.stream, &refs, category)?
         };
         let rg = parts.iter().any(|&p| self.requires(p));
-        Ok(self.push_owned(out, Op::ConcatCols(parts.to_vec()), rg, category))
+        Ok(self.push_computed(gpu, out, Op::ConcatCols(parts.to_vec()), rg, category))
     }
 
     /// `x × w` with the weight tile kept resident across row tiles — the
@@ -585,7 +608,7 @@ impl Tape {
             k::gemm_device_weight_resident(gpu, self.stream, &a, &b, category)?
         };
         let rg = self.requires(x) || self.requires(w);
-        Ok(self.push_owned(out, Op::MatMul(x, w), rg, category))
+        Ok(self.push_computed(gpu, out, Op::MatMul(x, w), rg, category))
     }
 
     /// Row-wise concatenation (stacks a partition's per-snapshot features).
@@ -602,7 +625,7 @@ impl Tape {
             k::concat_rows(gpu, self.stream, &refs, category)?
         };
         let rg = parts.iter().any(|&p| self.requires(p));
-        Ok(self.push_owned(out, Op::ConcatRows(parts.to_vec()), rg, category))
+        Ok(self.push_computed(gpu, out, Op::ConcatRows(parts.to_vec()), rg, category))
     }
 
     /// Row range `[from, to)` extraction.
@@ -619,7 +642,7 @@ impl Tape {
             k::slice_rows(gpu, self.stream, &dx, from, to, category)?
         };
         let rg = self.requires(x);
-        Ok(self.push_owned(out, Op::SliceRows { x, from }, rg, category))
+        Ok(self.push_computed(gpu, out, Op::SliceRows { x, from }, rg, category))
     }
 
     /// Column range `[from, to)` extraction.
@@ -636,7 +659,7 @@ impl Tape {
             k::slice_cols(gpu, self.stream, &dx, from, to, category)?
         };
         let rg = self.requires(x);
-        Ok(self.push_owned(out, Op::SliceCols { x, from }, rg, category))
+        Ok(self.push_computed(gpu, out, Op::SliceCols { x, from }, rg, category))
     }
 
     // ---- loss & backward --------------------------------------------------

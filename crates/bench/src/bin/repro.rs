@@ -17,6 +17,7 @@
 //!   ablation hardware-sensitivity + per-mechanism ablations (extension)
 //!   host_parallel  serial-vs-pool wall-clock of the host numerics layer
 //!   trace    Chrome-trace timeline of one pipelined run (Perfetto-loadable)
+//!   chaos    deterministic fault injection + recovery demonstration
 //!   all      everything (one grid pass shared by fig10/table2)
 //! ```
 //!
@@ -24,7 +25,8 @@
 //! (default `results/`).
 
 use pipad_bench::{
-    ablation, breakdown, fig11, fig12, fig5, fig9, grid, host_parallel, table1, trace, RunScale,
+    ablation, breakdown, chaos, fig11, fig12, fig5, fig9, grid, host_parallel, table1, trace,
+    RunScale,
 };
 use std::fs;
 use std::path::PathBuf;
@@ -57,7 +59,7 @@ fn parse_args() -> Args {
                 out_dir = PathBuf::from(argv.get(i).cloned().unwrap_or_default());
             }
             "--help" | "-h" => {
-                println!("usage: repro <table1|fig3|fig4|fig5|fig9|fig10|table2|grid|fig11|fig12|all> [--scale tiny|laptop] [--out dir]");
+                println!("usage: repro <table1|fig3|fig4|fig5|fig9|fig10|table2|grid|fig11|fig12|trace|chaos|all> [--scale tiny|laptop] [--out dir]");
                 std::process::exit(0);
             }
             other => experiment = other.to_string(),
@@ -144,6 +146,13 @@ fn main() {
             emit(&args.out_dir, "trace_fig11", &art.summary);
             let path = args.out_dir.join("trace_fig11.json");
             fs::write(&path, &art.json).expect("write trace_fig11.json");
+            eprintln!("[repro] wrote {}", path.display());
+        }
+        "chaos" => {
+            let art = chaos::run(args.scale);
+            emit(&args.out_dir, "chaos", &art.summary);
+            let path = args.out_dir.join("chaos.json");
+            fs::write(&path, &art.json).expect("write chaos.json");
             eprintln!("[repro] wrote {}", path.display());
         }
         "all" => {

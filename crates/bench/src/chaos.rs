@@ -1,0 +1,459 @@
+//! `repro chaos` — deterministic fault-injection demonstration.
+//!
+//! Runs the PiPAD pipeline (T-GCN on COVID-19-England) under one targeted
+//! [`FaultPlan`] per fault kind — Nth-allocation OOM, usage-threshold OOM,
+//! transient transfer failure, straggler kernels, NaN poisoning — and
+//! checks that each recovery policy actually fires:
+//!
+//! | fault | recovery evidence |
+//! |---|---|
+//! | one-shot OOM | `recovery` instant, `policy=oom_evict_retry` |
+//! | OOM burst | `recovery` instants, `policy=tuner_downshift` (8→4→2) |
+//! | threshold OOM | deliberate give-up: a typed, labeled `OomError` (no panic) |
+//! | transient transfer | `transfer_backoff` spans + a completed run |
+//! | stragglers | `recovery` instant, `policy=sequential_fallback` |
+//! | NaN poison | `recovery` instant, `policy=nan_skip` |
+//!
+//! Fault placement is probed, not guessed: a fault-free run (plus an
+//! all-preparing prefix run) yields the deterministic op-counter space, and
+//! faults land at the midpoint of the steady phase. Because injection is
+//! addressed by op index and draws no randomness, the whole artifact is a
+//! pure function of the workload — `run` re-measures under repeated runs
+//! and 1-/4-thread host pools and asserts byte-identical JSON.
+
+use crate::util::{dataset, default_training_config, RunScale};
+use pipad::{train_pipad, PipadConfig};
+use pipad_dyngraph::DatasetId;
+use pipad_gpu_sim::{
+    validate_json, ArgValue, DeviceConfig, FaultPlan, FaultStats, Gpu, StragglerRange,
+    TransferFault,
+};
+use pipad_models::{ModelKind, TrainingConfig};
+use pipad_pool::with_threads;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Everything `repro chaos` produces.
+pub struct ChaosArtifact {
+    /// Machine-readable report (`results/chaos.json`).
+    pub json: String,
+    /// Text summary (`results/chaos.txt`).
+    pub summary: String,
+}
+
+/// Everything observed from one (possibly faulted) training run.
+struct RunObs {
+    ok: bool,
+    error: String,
+    loss_bits: Vec<u32>,
+    nan_losses: usize,
+    peak_ever: u64,
+    allocs: u64,
+    copy_ops: u64,
+    launches: u64,
+    stats: FaultStats,
+    /// `recovery`-instant counts keyed by their `policy` argument.
+    recoveries: BTreeMap<String, u64>,
+    backoff_spans: u64,
+}
+
+fn observe(
+    scale: RunScale,
+    cfg: &TrainingConfig,
+    pcfg: &PipadConfig,
+    plan: Option<&FaultPlan>,
+) -> RunObs {
+    let graph = dataset(DatasetId::Covid19England, scale);
+    let mut gpu = Gpu::new(DeviceConfig::v100());
+    if let Some(p) = plan {
+        gpu.install_faults(p.clone());
+    }
+    let res = train_pipad(&mut gpu, ModelKind::TGcn, &graph, 16, cfg, pcfg);
+    let (ok, error, loss_bits, nan_losses) = match &res {
+        Ok(r) => {
+            let losses = r.losses();
+            (
+                true,
+                String::new(),
+                losses.iter().map(|l| l.to_bits()).collect(),
+                losses.iter().filter(|l| !l.is_finite()).count(),
+            )
+        }
+        Err(e) => (false, e.to_string(), Vec::new(), 0),
+    };
+    let mut recoveries = BTreeMap::new();
+    let mut backoff_spans = 0u64;
+    for e in gpu.trace().events() {
+        match e.name {
+            "recovery" => {
+                for (k, v) in &e.args {
+                    if *k == "policy" {
+                        if let ArgValue::Str(p) = v {
+                            *recoveries.entry(p.clone()).or_insert(0) += 1;
+                        }
+                    }
+                }
+            }
+            "transfer_backoff" => backoff_spans += 1,
+            _ => {}
+        }
+    }
+    let c = gpu.op_counters();
+    RunObs {
+        ok,
+        error,
+        loss_bits,
+        nan_losses,
+        peak_ever: gpu.mem().peak_ever(),
+        allocs: c.allocs,
+        copy_ops: c.copy_ops,
+        launches: c.launches,
+        stats: gpu.fault_stats(),
+        recoveries,
+        backoff_spans,
+    }
+}
+
+/// One named fault scenario.
+struct Scenario {
+    name: &'static str,
+    kind: &'static str,
+    plan: FaultPlan,
+    pcfg: PipadConfig,
+    /// Policy whose `recovery` instant proves the fault was survived
+    /// (empty for the transfer scenario, proven by backoff spans instead).
+    expect_policy: &'static str,
+    /// Recovery is numerics-neutral: final losses must match the
+    /// fault-free run bit for bit.
+    expect_bitwise: bool,
+    /// Whether the run is expected to complete. `false` demonstrates the
+    /// give-up path: a typed error after the recovery ladder exhausts.
+    expect_ok: bool,
+}
+
+fn render_obs_json(out: &mut String, o: &RunObs) {
+    let _ = write!(
+        out,
+        "{{\"ok\":{},\"error\":{:?},\"nan_losses\":{},\"peak_ever\":{},\
+         \"allocs\":{},\"copy_ops\":{},\"launches\":{},\
+         \"faults\":{{\"oom\":{},\"transfer\":{},\"straggler\":{},\"poison\":{}}},\
+         \"backoff_spans\":{},\"recoveries\":{{",
+        o.ok,
+        o.error,
+        o.nan_losses,
+        o.peak_ever,
+        o.allocs,
+        o.copy_ops,
+        o.launches,
+        o.stats.oom_injected,
+        o.stats.transfer_injected,
+        o.stats.straggler_injected,
+        o.stats.poison_injected,
+        o.backoff_spans,
+    );
+    for (i, (policy, n)) in o.recoveries.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{policy:?}:{n}");
+    }
+    out.push_str("}}");
+}
+
+/// Run every probe and scenario once and render both artifacts.
+fn measure(scale: RunScale) -> ChaosArtifact {
+    let cfg = default_training_config(scale);
+    let default_pcfg = PipadConfig::default();
+    let noreuse_pcfg = PipadConfig {
+        inter_frame_reuse: false,
+        ..PipadConfig::default()
+    };
+
+    // ---- probes: the deterministic op-index space -------------------------
+    let free = observe(scale, &cfg, &default_pcfg, None);
+    assert!(free.ok, "fault-free probe failed: {}", free.error);
+    assert!(
+        free.recoveries.is_empty() && free.stats.total() == 0,
+        "fault-free run must trigger no recovery (got {:?})",
+        free.recoveries
+    );
+    let prep_cfg = TrainingConfig {
+        epochs: cfg.preparing_epochs,
+        ..cfg.clone()
+    };
+    // All-preparing prefix run: its op counters mark where the steady phase
+    // begins in the full run's index space.
+    let prep = observe(scale, &prep_cfg, &default_pcfg, None);
+    let mid_alloc = (prep.allocs + free.allocs) / 2;
+    let mid_copy = (prep.copy_ops + free.copy_ops) / 2;
+    let mid_launch = (prep.launches + free.launches) / 2;
+
+    // A usage threshold at half the fault-free high-water mark bites during
+    // the preparing epochs, where `S_per` is already 1 — the ladder cannot
+    // shrink further and must surface a typed, labeled error (the give-up
+    // path; memory on this workload is flat in `S_per`, so no threshold is
+    // recoverable by downshifting alone).
+    let threshold = free.peak_ever / 2;
+
+    let steady_launches = free.launches - prep.launches;
+    let scenarios = [
+        Scenario {
+            name: "oom-nth-alloc",
+            kind: "oom",
+            plan: FaultPlan {
+                oom_at_alloc: vec![mid_alloc],
+                ..FaultPlan::default()
+            },
+            pcfg: default_pcfg.clone(),
+            expect_policy: "oom_evict_retry",
+            expect_bitwise: true,
+            expect_ok: true,
+        },
+        Scenario {
+            // Three consecutive alloc indices: the evict-retry rung eats the
+            // first, then each retry's first allocation hits the next index,
+            // forcing the tuner ladder 8 → 4 → 2 before the frame completes.
+            name: "oom-downshift-burst",
+            kind: "oom",
+            plan: FaultPlan {
+                oom_at_alloc: vec![mid_alloc, mid_alloc + 1, mid_alloc + 2],
+                ..FaultPlan::default()
+            },
+            pcfg: default_pcfg.clone(),
+            expect_policy: "tuner_downshift",
+            expect_bitwise: false,
+            expect_ok: true,
+        },
+        Scenario {
+            name: "oom-usage-threshold",
+            kind: "oom",
+            plan: FaultPlan {
+                oom_usage_threshold: Some(threshold),
+                ..FaultPlan::default()
+            },
+            pcfg: noreuse_pcfg.clone(),
+            expect_policy: "",
+            expect_bitwise: false,
+            expect_ok: false,
+        },
+        Scenario {
+            name: "transfer-transient",
+            kind: "transfer",
+            plan: FaultPlan {
+                transfer_faults: vec![TransferFault {
+                    op: mid_copy,
+                    failures: 2,
+                }],
+                ..FaultPlan::default()
+            },
+            pcfg: default_pcfg.clone(),
+            expect_policy: "",
+            expect_bitwise: true,
+            expect_ok: true,
+        },
+        Scenario {
+            name: "straggler-window",
+            kind: "straggler",
+            plan: FaultPlan {
+                // The straggler window covers the SECOND steady epoch: the
+                // first steady epoch is the trainer's wall-time baseline, so
+                // only slowdowns after it can register. The multiplier is
+                // large because launch overhead and transfers dominate frame
+                // wall time — only a small busy fraction actually scales.
+                straggler_ranges: vec![StragglerRange {
+                    from: prep.launches + steady_launches / 2,
+                    to: prep.launches + steady_launches,
+                    multiplier_milli: 200_000,
+                }],
+                ..FaultPlan::default()
+            },
+            pcfg: default_pcfg.clone(),
+            expect_policy: "sequential_fallback",
+            expect_bitwise: true,
+            expect_ok: true,
+        },
+        Scenario {
+            name: "nan-poison",
+            kind: "poison",
+            plan: FaultPlan {
+                poison_launches: vec![mid_launch],
+                ..FaultPlan::default()
+            },
+            pcfg: default_pcfg.clone(),
+            expect_policy: "nan_skip",
+            expect_bitwise: false,
+            expect_ok: true,
+        },
+    ];
+
+    let mut json = String::from("{\"experiment\":\"chaos\"");
+    let _ = write!(json, ",\"scale\":{:?}", scale.label());
+    json.push_str(",\"fault_free\":");
+    render_obs_json(&mut json, &free);
+    let _ = write!(
+        json,
+        ",\"probe\":{{\"prep_allocs\":{},\"prep_copy_ops\":{},\"prep_launches\":{},\
+         \"threshold\":{}}}",
+        prep.allocs, prep.copy_ops, prep.launches, threshold
+    );
+    json.push_str(",\"scenarios\":[");
+
+    let mut summary = String::new();
+    let _ = writeln!(
+        summary,
+        "chaos: T-GCN / COVID-19-England ({}), {} scenarios",
+        scale.label(),
+        scenarios.len()
+    );
+    let _ = writeln!(
+        summary,
+        "op space: {} allocs, {} copies, {} launches (steady from {}/{}/{}); \
+         fatal oom threshold {} B (fault-free peak {})",
+        free.allocs,
+        free.copy_ops,
+        free.launches,
+        prep.allocs,
+        prep.copy_ops,
+        prep.launches,
+        threshold,
+        free.peak_ever
+    );
+
+    let mut recovered_kinds: BTreeMap<&'static str, u64> = BTreeMap::new();
+    for (si, sc) in scenarios.iter().enumerate() {
+        let obs = observe(scale, &cfg, &sc.pcfg, Some(&sc.plan));
+        assert!(
+            obs.stats.total() > 0,
+            "scenario {} injected nothing — probe indices off",
+            sc.name
+        );
+        let bitwise = obs.ok && obs.loss_bits == free.loss_bits;
+        if sc.expect_ok {
+            assert!(
+                obs.ok,
+                "scenario {} did not recover: {}",
+                sc.name, obs.error
+            );
+            let recovered = if sc.expect_policy.is_empty() {
+                obs.backoff_spans > 0
+            } else {
+                obs.recoveries.get(sc.expect_policy).copied().unwrap_or(0) > 0
+            };
+            assert!(
+                recovered,
+                "scenario {} shows no {} recovery (recoveries: {:?}, backoffs: {})",
+                sc.name,
+                if sc.expect_policy.is_empty() {
+                    "transfer-retry"
+                } else {
+                    sc.expect_policy
+                },
+                obs.recoveries,
+                obs.backoff_spans
+            );
+            if sc.expect_bitwise {
+                assert!(
+                    bitwise,
+                    "scenario {} recovery must be numerics-neutral but losses diverged",
+                    sc.name
+                );
+            }
+            *recovered_kinds.entry(sc.kind).or_insert(0) += 1;
+        } else {
+            assert!(
+                !obs.ok && !obs.error.is_empty(),
+                "scenario {} was expected to surface a typed error, got ok={}",
+                sc.name,
+                obs.ok
+            );
+        }
+
+        if si > 0 {
+            json.push(',');
+        }
+        let _ = write!(
+            json,
+            "{{\"name\":{:?},\"kind\":{:?},\"plan\":{},\"losses_bitwise_match\":{},\"obs\":",
+            sc.name,
+            sc.kind,
+            sc.plan.to_json(),
+            bitwise
+        );
+        render_obs_json(&mut json, &obs);
+        json.push('}');
+
+        let injected = obs.stats.total();
+        let rec_desc: Vec<String> = obs
+            .recoveries
+            .iter()
+            .map(|(p, n)| format!("{p}x{n}"))
+            .collect();
+        let _ = writeln!(
+            summary,
+            "  {:<22} injected {:>3}  recoveries [{}] backoffs {}  {}",
+            sc.name,
+            injected,
+            rec_desc.join(", "),
+            obs.backoff_spans,
+            if !obs.ok {
+                "typed error (expected give-up)"
+            } else if bitwise {
+                "losses bit-identical"
+            } else {
+                "losses perturbed (expected)"
+            }
+        );
+    }
+    json.push_str("]}");
+    validate_json(&json).expect("chaos report is not well-formed JSON");
+
+    for kind in ["oom", "transfer", "straggler", "poison"] {
+        assert!(
+            recovered_kinds.get(kind).copied().unwrap_or(0) > 0,
+            "fault kind {kind} demonstrated no successful recovery"
+        );
+    }
+    let _ = writeln!(
+        summary,
+        "all four fault kinds recovered at least once; report is deterministic"
+    );
+    ChaosArtifact { json, summary }
+}
+
+/// Run the chaos experiment and verify the determinism contract: the JSON
+/// report must be byte-identical across repeated runs and across host-pool
+/// thread counts.
+pub fn run(scale: RunScale) -> ChaosArtifact {
+    let first = measure(scale);
+    let again = measure(scale);
+    assert_eq!(
+        first.json, again.json,
+        "chaos JSON differs between two identical runs"
+    );
+    let serial = with_threads(1, || measure(scale));
+    let pooled = with_threads(4, || measure(scale));
+    assert_eq!(
+        first.json, serial.json,
+        "chaos JSON differs under a 1-thread host pool"
+    );
+    assert_eq!(
+        first.json, pooled.json,
+        "chaos JSON differs under a 4-thread host pool"
+    );
+    first
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_chaos_recovers_all_four_kinds_deterministically() {
+        let art = run(RunScale::Tiny);
+        assert!(art.json.starts_with("{\"experiment\":\"chaos\""));
+        for kind in ["\"oom\"", "\"transfer\"", "\"straggler\"", "\"poison\""] {
+            assert!(art.json.contains(kind), "missing {kind}");
+        }
+        assert!(art.summary.contains("all four fault kinds recovered"));
+    }
+}

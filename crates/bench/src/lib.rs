@@ -15,6 +15,7 @@
 //! | [`fig12`] | Figure 12 — load balance and overall speedup of the sliced CSR |
 //! | [`ablation`] | extension: hardware-sensitivity and per-mechanism ablations |
 //! | [`trace`] | extension: Chrome-trace timeline of one pipelined run (open in Perfetto) |
+//! | [`chaos`] | extension: deterministic fault injection + recovery demonstration |
 //!
 //! Run everything with the `repro` binary:
 //!
@@ -24,6 +25,7 @@
 
 pub mod ablation;
 pub mod breakdown;
+pub mod chaos;
 pub mod fig11;
 pub mod fig12;
 pub mod fig5;

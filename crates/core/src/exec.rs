@@ -18,8 +18,8 @@ use crate::analyzer::GraphAnalyzer;
 use crate::prep::{PartitionCatalog, PartitionPlan};
 use crate::reuse::InterFrameReuse;
 use pipad_autograd::{SharedParam, Tape, Var};
-use pipad_gpu_sim::{ArgValue, Event, Gpu, KernelCategory, Lane, OomError, SimNanos, StreamId};
-use pipad_kernels::{upload_matrix, upload_sliced, DeviceMatrix, DeviceSliced};
+use pipad_gpu_sim::{ArgValue, DeviceFault, Event, Gpu, KernelCategory, Lane, OomError, SimNanos, StreamId};
+use pipad_kernels::{upload_matrix_checked, upload_sliced_checked, DeviceMatrix, DeviceSliced};
 use pipad_tensor::Matrix;
 use std::rc::Rc;
 
@@ -98,7 +98,7 @@ impl<'r> PipadExecutor<'r> {
         compute: StreamId,
         copy: StreamId,
         host_cursor: &mut SimNanos,
-    ) -> Result<Self, OomError> {
+    ) -> Result<Self, DeviceFault> {
         assert!(opts.s_per >= 1);
         let window = features.len();
         let mut partitions = Vec::new();
@@ -128,6 +128,16 @@ impl<'r> PipadExecutor<'r> {
                 slots.push((global, snap, gpu_agg, cpu_agg_host, features[offset + k]));
             }
             let layer1_cached = all_cached;
+            // A partition is served from cache only when EVERY member is
+            // cached: a partially purged store (NaN-skip recovery removes
+            // single snapshots) falls back to staging features for the whole
+            // partition so one aggregation launch can cover it.
+            if !layer1_cached {
+                for (_, _, g, c, _) in &mut slots {
+                    *g = None;
+                    *c = None;
+                }
+            }
             let needs_adj = !layer1_cached || opts.needs_adjacency_when_cached;
 
             // Host preparation for the partition (buffer assembly).
@@ -169,16 +179,16 @@ impl<'r> PipadExecutor<'r> {
                 // Figure 12 ablation: plain CSR per snapshot.
                 for (_, snap, ..) in &slots {
                     let shared = Rc::clone(&snap.norm.adj_hat);
-                    adj_dev_csr.push(pipad_kernels::upload_csr(gpu, copy, Rc::clone(&shared), true)?);
+                    adj_dev_csr.push(pipad_kernels::upload_csr_checked(gpu, copy, Rc::clone(&shared), true)?);
                     csr_adjs.push(shared);
                 }
                 (None, Vec::new())
             } else if needs_adj {
                 match plan {
                     Some(p) => {
-                        adj_dev.push(upload_sliced(gpu, copy, Rc::clone(&p.overlap), true)?);
+                        adj_dev.push(upload_sliced_checked(gpu, copy, Rc::clone(&p.overlap), true)?);
                         for e in &p.exclusives {
-                            adj_dev.push(upload_sliced(gpu, copy, Rc::clone(e), true)?);
+                            adj_dev.push(upload_sliced_checked(gpu, copy, Rc::clone(e), true)?);
                         }
                         (Some(Rc::clone(&p.overlap)), p.exclusives.clone())
                     }
@@ -187,7 +197,7 @@ impl<'r> PipadExecutor<'r> {
                         // adjacency; "overlap" degenerates to the first.
                         let mut ex = Vec::new();
                         for (_, snap, ..) in &slots {
-                            adj_dev.push(upload_sliced(gpu, copy, Rc::clone(&snap.sliced), true)?);
+                            adj_dev.push(upload_sliced_checked(gpu, copy, Rc::clone(&snap.sliced), true)?);
                             ex.push(Rc::clone(&snap.sliced));
                         }
                         (None, ex)
@@ -202,9 +212,9 @@ impl<'r> PipadExecutor<'r> {
                 let (features_dev, cpu_agg) = if gpu_agg.is_some() {
                     (None, None)
                 } else if let Some(a) = cpu_agg_host {
-                    (None, Some(upload_matrix(gpu, copy, &a, true)?))
+                    (None, Some(upload_matrix_checked(gpu, copy, &a, true, "cpu_agg_upload")?))
                 } else {
-                    (Some(upload_matrix(gpu, copy, feats, true)?), None)
+                    (Some(upload_matrix_checked(gpu, copy, feats, true, "feature_upload")?), None)
                 };
                 staged_slots.push(SlotState {
                     global,

@@ -45,6 +45,13 @@ impl CpuAggStore {
         self.store.contains_key(&snapshot)
     }
 
+    /// Drop an entry. The store is normally write-once, but NaN-skip
+    /// recovery purges every deposit a poisoned frame made so the poison
+    /// cannot be re-served from cache on later frames.
+    pub fn remove(&mut self, snapshot: usize) -> Option<Matrix> {
+        self.store.remove(&snapshot)
+    }
+
     /// Number of elements.
     pub fn len(&self) -> usize {
         self.store.len()

@@ -22,7 +22,7 @@ use crate::reuse::InterFrameReuse;
 use crate::tuner::{DynamicTuner, FrameProfile, OfflineTable};
 use pipad_autograd::Tape;
 use pipad_dyngraph::{DynamicGraph, FrameIter};
-use pipad_gpu_sim::{ArgValue, Gpu, Lane, OomError, SimNanos, TraceKind};
+use pipad_gpu_sim::{ArgValue, DeviceFault, Gpu, Lane, OomError, SimNanos, TraceKind};
 use pipad_models::{build_model, EpochReport, ModelKind, TrainReport, TrainingConfig};
 use pipad_tensor::Matrix;
 
@@ -60,7 +60,26 @@ impl Default for PipadConfig {
     }
 }
 
+/// Steady-state frames whose wall time exceeds `STRAGGLER_FACTOR ×` the
+/// same frame's wall time in the *first* steady epoch count as straggling.
+/// The first steady epoch is the baseline (not the preparing epochs —
+/// those run unpipelined and are an order of magnitude slower), so
+/// detection starts from the second steady epoch.
+const STRAGGLER_FACTOR: u64 = 3;
+/// This many straggling frames in a row trip the sequential fallback.
+const STRAGGLER_CONSECUTIVE: u32 = 2;
+
 /// Train `model_kind` on `graph` with the full PiPAD framework.
+///
+/// Device faults (injected via [`pipad_gpu_sim::FaultPlan`] or genuine
+/// capacity pressure) are recovered per frame: the first OOM evicts the
+/// GPU-side reuse cache and retries, further OOMs walk `S_per` down the
+/// tuner ladder before giving up; transfer faults surviving the copy-layer
+/// retry budget roll the frame's allocations back and propagate; sustained
+/// stragglers drop the pipeline into sequential mode; a NaN/Inf loss skips
+/// that frame's optimizer step and purges its reuse deposits. Every
+/// recovery decision lands in the trace as a `recovery` instant on the
+/// control lane with a `policy` argument.
 pub fn train_pipad(
     gpu: &mut Gpu,
     model_kind: ModelKind,
@@ -68,7 +87,7 @@ pub fn train_pipad(
     hidden: usize,
     cfg: &TrainingConfig,
     pcfg: &PipadConfig,
-) -> Result<TrainReport, OomError> {
+) -> Result<TrainReport, DeviceFault> {
     let compute = gpu.default_stream();
     let copy = gpu.create_stream();
     let model = build_model(gpu, model_kind, graph.feature_dim(), hidden, cfg.seed)?;
@@ -82,11 +101,18 @@ pub fn train_pipad(
     let mut reuse = InterFrameReuse::new(0);
     let n_frames = FrameIter::count_frames(graph, cfg.window);
     let mut frame_profiles: Vec<FrameProfile> = Vec::with_capacity(n_frames);
+    let mut frame_walls: Vec<SimNanos> = Vec::with_capacity(n_frames);
     let mut decisions: Vec<usize> = Vec::new();
     let mut epochs = Vec::with_capacity(cfg.epochs);
     let mut steady_t0 = SimNanos::ZERO;
     let mut steady_snap = None;
     let preparing = cfg.preparing_epochs.clamp(1, cfg.epochs);
+    // Fault-recovery state (persists across epochs: the sequential fallback
+    // is permanent once tripped, matching a real deployment that stops
+    // trusting an unstable pipeline).
+    let mut sequential_mode = false;
+    let mut slow_frames: u32 = 0;
+    let mut skipped_steps: u64 = 0;
 
     for epoch in 0..cfg.epochs {
         let t0 = gpu.synchronize().max(host_cursor);
@@ -103,57 +129,151 @@ pub fn train_pipad(
         let mut losses = Vec::new();
         for (fi, frame) in FrameIter::new(graph, cfg.window).enumerate() {
             let feats: Vec<&Matrix> = frame.snapshots().iter().map(|s| &s.features).collect();
-            let s_per = if is_preparing {
+            let mut s_per_eff = if is_preparing {
                 1
             } else {
                 pcfg.force_s_per.unwrap_or(decisions[fi])
             };
-            let opts = ExecOptions {
-                s_per,
-                needs_adjacency_when_cached: model.needs_hidden_aggregation(),
-                weight_reuse: !is_preparing && model.supports_weight_reuse(),
-                inter_frame_reuse: pcfg.inter_frame_reuse,
-                use_sliced: pcfg.use_sliced,
-            };
-            gpu.reset_peak_mem();
-            let frame_snap = gpu.profiler().snapshot();
             let frame_t0 = gpu.now().max(host_cursor);
-
-            let mut exec = PipadExecutor::stage(
-                gpu,
-                &analyzer,
-                &catalog,
-                &feats,
-                frame.start,
-                opts,
-                pcfg.inter_frame_reuse.then_some(&mut reuse),
-                compute,
-                copy,
-                &mut host_cursor,
-            )?;
-            let mut tape = Tape::new(compute);
-            let target = graph.target_for(frame.last_index());
-            let loss;
-            if !is_preparing && pcfg.cuda_graph {
-                let out = gpu.graph_scope(compute, |gpu| -> Result<_, OomError> {
-                    let out = model.forward_frame(gpu, &mut tape, &mut exec)?;
-                    tape.backward_mse(gpu, out.pred, target)?;
-                    Ok(out)
-                })?;
-                loss = tape.mse_loss(gpu, out.pred, target);
-                out.binder.apply_sgd(gpu, compute, &tape, cfg.lr);
-            } else {
-                let out = model.forward_frame(gpu, &mut tape, &mut exec)?;
-                loss = tape.mse_loss(gpu, out.pred, target);
-                tape.backward_mse(gpu, out.pred, target)?;
-                out.binder.apply_sgd(gpu, compute, &tape, cfg.lr);
-            }
+            let mut attempt: u32 = 0;
+            // Per-frame recovery ladder: the first OOM evicts the GPU reuse
+            // cache and retries; later OOMs shrink `S_per` one tuner step at
+            // a time; at the floor the fault propagates. Transfer faults
+            // already exhausted the copy layer's bounded retries, so here
+            // they only roll back and propagate.
+            let (s_per, frame_snap, loss, stepped) = loop {
+                let s_per = s_per_eff;
+                let use_graph = !is_preparing && pcfg.cuda_graph && !sequential_mode;
+                let opts = ExecOptions {
+                    s_per,
+                    needs_adjacency_when_cached: model.needs_hidden_aggregation(),
+                    weight_reuse: !is_preparing && model.supports_weight_reuse(),
+                    inter_frame_reuse: pcfg.inter_frame_reuse,
+                    use_sliced: pcfg.use_sliced,
+                };
+                gpu.reset_peak_mem();
+                let frame_snap = gpu.profiler().snapshot();
+                let mark = gpu.mem_mark();
+                let result = (|| -> Result<(f32, bool), DeviceFault> {
+                    let mut exec = PipadExecutor::stage(
+                        gpu,
+                        &analyzer,
+                        &catalog,
+                        &feats,
+                        frame.start,
+                        opts,
+                        pcfg.inter_frame_reuse.then_some(&mut reuse),
+                        compute,
+                        copy,
+                        &mut host_cursor,
+                    )?;
+                    if sequential_mode {
+                        // Sequential fallback: join the copy lanes before
+                        // compute so nothing overlaps (the plain path below
+                        // also skips CUDA-graph capture).
+                        gpu.synchronize();
+                    }
+                    let mut tape = Tape::new(compute);
+                    let target = graph.target_for(frame.last_index());
+                    let loss;
+                    let stepped;
+                    if use_graph {
+                        let out = gpu.graph_scope(compute, |gpu| -> Result<_, OomError> {
+                            let out = model.forward_frame(gpu, &mut tape, &mut exec)?;
+                            tape.backward_mse(gpu, out.pred, target)?;
+                            Ok(out)
+                        })?;
+                        loss = tape.mse_loss(gpu, out.pred, target);
+                        stepped = loss.is_finite();
+                        if stepped {
+                            out.binder.apply_sgd(gpu, compute, &tape, cfg.lr);
+                        }
+                    } else {
+                        let out = model.forward_frame(gpu, &mut tape, &mut exec)?;
+                        loss = tape.mse_loss(gpu, out.pred, target);
+                        tape.backward_mse(gpu, out.pred, target)?;
+                        stepped = loss.is_finite();
+                        if stepped {
+                            out.binder.apply_sgd(gpu, compute, &tape, cfg.lr);
+                        }
+                    }
+                    tape.finish(gpu);
+                    exec.finish(gpu);
+                    Ok((loss, stepped))
+                })();
+                match result {
+                    Ok((loss, stepped)) => break (s_per, frame_snap, loss, stepped),
+                    Err(DeviceFault::Oom(e)) => {
+                        gpu.release_since(mark);
+                        let t = gpu.now().max(host_cursor);
+                        if attempt == 0 {
+                            reuse.gpu_cache.clear(gpu);
+                            gpu.trace_mut().instant(
+                                "recovery",
+                                Lane::Control,
+                                t,
+                                vec![
+                                    ("policy", ArgValue::Str("oom_evict_retry".to_string())),
+                                    ("epoch", ArgValue::U64(epoch as u64)),
+                                    ("frame", ArgValue::U64(fi as u64)),
+                                ],
+                            );
+                        } else {
+                            let down = DynamicTuner::downshift(s_per_eff);
+                            if down == s_per_eff {
+                                return Err(DeviceFault::Oom(e));
+                            }
+                            s_per_eff = down;
+                            if fi < decisions.len() {
+                                decisions[fi] = down;
+                            }
+                            gpu.trace_mut().instant(
+                                "recovery",
+                                Lane::Control,
+                                t,
+                                vec![
+                                    ("policy", ArgValue::Str("tuner_downshift".to_string())),
+                                    ("epoch", ArgValue::U64(epoch as u64)),
+                                    ("frame", ArgValue::U64(fi as u64)),
+                                    ("s_per", ArgValue::U64(down as u64)),
+                                ],
+                            );
+                        }
+                        attempt += 1;
+                    }
+                    Err(fault @ DeviceFault::Transfer(_)) => {
+                        gpu.release_since(mark);
+                        return Err(fault);
+                    }
+                }
+            };
             losses.push(loss);
-            tape.finish(gpu);
-            exec.finish(gpu);
 
             // Entries below the next frame's start have left the window.
             reuse.gpu_cache.retire_below(gpu, frame.start + 1);
+
+            if !stepped {
+                // NaN/Inf loss: the optimizer step was skipped (params are
+                // untouched); purge whatever the poisoned frame deposited
+                // into the CPU reuse store so the poison cannot be re-served
+                // on later frames.
+                skipped_steps += 1;
+                for s in frame.start..frame.start + frame.snapshots().len() {
+                    reuse.cpu.remove(s);
+                }
+                let t = gpu.now().max(host_cursor);
+                gpu.trace_mut().instant(
+                    "recovery",
+                    Lane::Control,
+                    t,
+                    vec![
+                        ("policy", ArgValue::Str("nan_skip".to_string())),
+                        ("epoch", ArgValue::U64(epoch as u64)),
+                        ("frame", ArgValue::U64(fi as u64)),
+                        ("skipped_total", ArgValue::U64(skipped_steps)),
+                    ],
+                );
+            }
 
             let frame_t1 = gpu.now().max(host_cursor);
             gpu.trace_mut().span(
@@ -169,6 +289,37 @@ pub fn train_pipad(
                     ("loss", ArgValue::F64(loss as f64)),
                 ],
             );
+
+            // Straggler watch: a steady frame whose wall time blows past the
+            // same frame's first-steady-epoch wall time is being slow-rolled
+            // by the device; two in a row and the pipelined schedule is
+            // abandoned. The first steady epoch only records the baseline
+            // (the preparing epochs run unpipelined and are an order of
+            // magnitude slower, so they cannot serve as one).
+            if !is_preparing && epoch == preparing && frame_walls.len() == fi {
+                frame_walls.push(frame_t1 - frame_t0);
+            }
+            if !is_preparing && epoch > preparing && !sequential_mode && fi < frame_walls.len() {
+                let expected = frame_walls[fi].as_nanos();
+                if (frame_t1 - frame_t0).as_nanos() > expected.saturating_mul(STRAGGLER_FACTOR) {
+                    slow_frames += 1;
+                    if slow_frames >= STRAGGLER_CONSECUTIVE {
+                        sequential_mode = true;
+                        gpu.trace_mut().instant(
+                            "recovery",
+                            Lane::Control,
+                            frame_t1,
+                            vec![
+                                ("policy", ArgValue::Str("sequential_fallback".to_string())),
+                                ("epoch", ArgValue::U64(epoch as u64)),
+                                ("frame", ArgValue::U64(fi as u64)),
+                            ],
+                        );
+                    }
+                } else {
+                    slow_frames = 0;
+                }
+            }
 
             if is_preparing && epoch == preparing - 1 {
                 // Last preparing epoch: record the tuner's inputs.

@@ -196,6 +196,19 @@ impl DynamicTuner {
         }
         best
     }
+
+    /// One step down the `S_per` ladder — the OOM-recovery fallback when
+    /// evicting the reuse cache was not enough. Returns the next smaller
+    /// entry of [`S_PER_OPTIONS`] (or `1` below the smallest); `1` maps to
+    /// itself, which callers use as the "cannot shrink further" signal.
+    pub fn downshift(s_per: usize) -> usize {
+        S_PER_OPTIONS
+            .iter()
+            .rev()
+            .copied()
+            .find(|&s| s < s_per)
+            .unwrap_or(1)
+    }
 }
 
 #[cfg(test)]
@@ -273,5 +286,15 @@ mod tests {
         let tuner = DynamicTuner::new(OfflineTable::default(), 1 << 30, 12_000, 16);
         let d = tuner.decide(&profile(1 << 20), &cat, 0, 4);
         assert!(d.s_per <= 4);
+    }
+
+    #[test]
+    fn downshift_walks_the_ladder_to_one() {
+        assert_eq!(DynamicTuner::downshift(8), 4);
+        assert_eq!(DynamicTuner::downshift(4), 2);
+        assert_eq!(DynamicTuner::downshift(2), 1);
+        assert_eq!(DynamicTuner::downshift(1), 1, "floor maps to itself");
+        // off-ladder values snap to the next option below
+        assert_eq!(DynamicTuner::downshift(6), 4);
     }
 }

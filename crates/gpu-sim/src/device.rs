@@ -15,6 +15,7 @@
 
 use crate::config::DeviceConfig;
 use crate::cost::KernelCost;
+use crate::faults::{FaultPlan, FaultSession, FaultStats, OpCounters, TransferError};
 use crate::memory::{BufferId, DeviceMemory, OomError};
 use crate::profiler::{Profiler, Sample, SampleKind};
 use crate::schedule::schedule_blocks;
@@ -56,6 +57,12 @@ pub struct Gpu {
     d2h_cursor: SimNanos,
     streams: Vec<SimNanos>,
     graph_mode: bool,
+    /// Installed fault-injection session, if any (see [`crate::faults`]).
+    faults: Option<FaultSession>,
+    /// Monotonic operation counters: the index space fault plans address.
+    alloc_attempts: u64,
+    copy_ops: u64,
+    launches: u64,
 }
 
 impl Gpu {
@@ -72,7 +79,64 @@ impl Gpu {
             d2h_cursor: SimNanos::ZERO,
             streams: vec![SimNanos::ZERO], // default stream 0
             graph_mode: false,
+            faults: None,
+            alloc_attempts: 0,
+            copy_ops: 0,
+            launches: 0,
         }
+    }
+
+    // ---- fault injection -------------------------------------------------
+
+    /// Install a deterministic fault plan. Replaces any previous plan;
+    /// operation counters keep running, so plans installed mid-run address
+    /// the same global index space.
+    pub fn install_faults(&mut self, plan: FaultPlan) {
+        self.faults = Some(FaultSession::new(plan));
+    }
+
+    /// The installed (normalized) fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.faults.as_ref().map(|f| f.plan())
+    }
+
+    /// Counts of faults injected so far (all zero when no plan installed).
+    pub fn fault_stats(&self) -> FaultStats {
+        self.faults.as_ref().map(|f| f.stats).unwrap_or_default()
+    }
+
+    /// Monotonic operation counters (allocation attempts, logical copy
+    /// ops, kernel launches); harnesses probe these on a fault-free run to
+    /// place faults at known fractions of the op stream.
+    pub fn op_counters(&self) -> OpCounters {
+        OpCounters {
+            allocs: self.alloc_attempts,
+            copy_ops: self.copy_ops,
+            launches: self.launches,
+        }
+    }
+
+    /// Consume the poison armed by the most recent poisoned launch, if
+    /// any. The autograd tape calls this after each kernel to decide
+    /// whether to NaN-poison the output it is about to record.
+    pub fn take_poison_pending(&mut self) -> bool {
+        match self.faults.as_mut() {
+            Some(f) if f.poison_armed => {
+                f.poison_armed = false;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Retry budget recovery code should use per logical copy op.
+    pub fn transfer_retry_budget(&self) -> u32 {
+        self.faults.as_ref().map_or(3, |f| f.max_transfer_retries)
+    }
+
+    /// Base simulated backoff between transfer retries, in nanoseconds.
+    pub fn transfer_backoff_ns(&self) -> u64 {
+        self.faults.as_ref().map_or(2_000, |f| f.transfer_backoff_ns)
     }
 
     /// The device configuration.
@@ -129,14 +193,51 @@ impl Gpu {
     /// Alloc. Success moves the `device_mem_in_use` counter track; failure
     /// records an `alloc_oom` instant with the full [`OomError`] detail.
     pub fn alloc(&mut self, bytes: u64) -> Result<BufferId, OomError> {
+        self.alloc_labeled(bytes, "alloc")
+    }
+
+    /// [`Gpu::alloc`] with an attribution label carried into any
+    /// [`OomError`] and the `alloc_oom` trace event. Consults the
+    /// installed fault plan: the Nth allocation attempt, or any attempt
+    /// crossing the plan's usage threshold, fails with an injected OOM.
+    pub fn alloc_labeled(&mut self, bytes: u64, label: &'static str) -> Result<BufferId, OomError> {
         let t = self.now();
-        match self.mem.alloc(bytes) {
+        let index = self.alloc_attempts;
+        self.alloc_attempts += 1;
+        let in_use = self.mem.in_use();
+        let injected = self
+            .faults
+            .as_mut()
+            .is_some_and(|f| f.should_fail_alloc(index, in_use, bytes));
+        let res = if injected {
+            Err(OomError {
+                requested: bytes,
+                in_use,
+                capacity: self.mem.capacity(),
+                label,
+            })
+        } else {
+            self.mem.alloc_labeled(bytes, label)
+        };
+        match res {
             Ok(id) => {
                 self.tracer
                     .counter("device_mem_in_use", Lane::Memory, t, self.mem.in_use());
                 Ok(id)
             }
             Err(e) => {
+                if injected {
+                    self.tracer.fault(
+                        "fault_injected",
+                        Lane::Memory,
+                        t,
+                        vec![
+                            ("kind", ArgValue::Str("oom".to_string())),
+                            ("alloc_index", ArgValue::U64(index)),
+                            ("requested", ArgValue::U64(bytes)),
+                        ],
+                    );
+                }
                 self.tracer.instant(
                     "alloc_oom",
                     Lane::Memory,
@@ -145,6 +246,8 @@ impl Gpu {
                         ("requested", ArgValue::U64(e.requested)),
                         ("in_use", ArgValue::U64(e.in_use)),
                         ("capacity", ArgValue::U64(e.capacity)),
+                        ("label", ArgValue::Str(e.label.to_string())),
+                        ("injected", ArgValue::Bool(injected)),
                     ],
                 );
                 Err(e)
@@ -163,6 +266,26 @@ impl Gpu {
     /// Reset peak mem.
     pub fn reset_peak_mem(&mut self) {
         self.mem.reset_peak();
+    }
+
+    /// Allocation watermark for [`Gpu::release_since`].
+    pub fn mem_mark(&self) -> u64 {
+        self.mem.mark()
+    }
+
+    /// Free every allocation made at or after `mark` that is still live —
+    /// the rollback step of OOM recovery: a failed frame attempt releases
+    /// exactly what it allocated, then retries. Returns `(buffers, bytes)`
+    /// released.
+    pub fn release_since(&mut self, mark: u64) -> (usize, u64) {
+        let ids = self.mem.live_ids_from(mark);
+        let count = ids.len();
+        let mut bytes = 0u64;
+        for id in ids {
+            bytes += self.mem.size_of(id).unwrap_or(0);
+            self.free(id);
+        }
+        (count, bytes)
     }
 
     // ---- kernels --------------------------------------------------------
@@ -194,7 +317,18 @@ impl Gpu {
     }
 
     fn enqueue_kernel(&mut self, stream: StreamId, cost: &KernelCost, overhead: SimNanos) -> Event {
-        let (busy, balanced, (imb_num, imb_den)) = self.kernel_busy_ratio(cost);
+        let launch_index = self.launches;
+        self.launches += 1;
+        let (mut busy, balanced, (imb_num, imb_den)) = self.kernel_busy_ratio(cost);
+        let mut straggler_milli = None;
+        let mut poisoned = false;
+        if let Some(f) = self.faults.as_mut() {
+            if let Some(m) = f.straggler_multiplier(launch_index) {
+                straggler_milli = Some(m);
+                busy = busy.scale(m, 1_000);
+            }
+            poisoned = f.should_poison(launch_index);
+        }
         let queued = self.streams[stream.0].max(self.compute_cursor);
         // The launch overhead is host/driver latency: the SMs are idle for
         // it, so the recorded busy interval starts after it (this is what
@@ -237,6 +371,29 @@ impl Gpu {
                 ),
             ],
         );
+        if let Some(m) = straggler_milli {
+            self.tracer.fault(
+                "fault_injected",
+                Lane::Stream(stream.0),
+                start,
+                vec![
+                    ("kind", ArgValue::Str("straggler".to_string())),
+                    ("launch", ArgValue::U64(launch_index)),
+                    ("multiplier_milli", ArgValue::U64(m)),
+                ],
+            );
+        }
+        if poisoned {
+            self.tracer.fault(
+                "fault_injected",
+                Lane::Stream(stream.0),
+                start,
+                vec![
+                    ("kind", ArgValue::Str("poison".to_string())),
+                    ("launch", ArgValue::U64(launch_index)),
+                ],
+            );
+        }
         Event(end)
     }
 
@@ -341,12 +498,86 @@ impl Gpu {
     /// Host → device copy. `pinned` selects the fast DMA path and keeps the
     /// copy asynchronous with respect to the compute lane.
     pub fn h2d(&mut self, stream: StreamId, bytes: u64, pinned: bool) -> Event {
+        self.next_copy_op();
         self.transfer(stream, bytes, pinned, TransferDir::H2D)
     }
 
     /// Device → host copy.
     pub fn d2h(&mut self, stream: StreamId, bytes: u64, pinned: bool) -> Event {
+        self.next_copy_op();
         self.transfer(stream, bytes, pinned, TransferDir::D2H)
+    }
+
+    /// Assign the next logical copy-op index. Fault plans address copies by
+    /// this index; retries of one logical operation share it, so a plan's
+    /// per-op failure budget can actually be exhausted by retrying.
+    pub fn next_copy_op(&mut self) -> u64 {
+        let op = self.copy_ops;
+        self.copy_ops += 1;
+        op
+    }
+
+    /// One *attempt* of logical copy op `op` (from [`Gpu::next_copy_op`]).
+    /// The attempt always occupies the copy engine — a failed DMA still
+    /// burns the bus time — and then consults the fault plan: on an
+    /// injected failure a `fault_injected` trace event is recorded and the
+    /// caller is expected to retry after [`Gpu::backoff_stream`], up to
+    /// [`Gpu::transfer_retry_budget`] retries.
+    pub fn try_copy(
+        &mut self,
+        op: u64,
+        stream: StreamId,
+        bytes: u64,
+        pinned: bool,
+        dir: TransferDir,
+    ) -> Result<Event, TransferError> {
+        let failed = self.faults.as_mut().is_some_and(|f| f.should_fail_copy(op));
+        let ev = self.transfer(stream, bytes, pinned, dir);
+        if failed {
+            let lane = match dir {
+                TransferDir::H2D => Lane::H2D,
+                TransferDir::D2H => Lane::D2H,
+            };
+            self.tracer.fault(
+                "fault_injected",
+                lane,
+                ev.time(),
+                vec![
+                    ("kind", ArgValue::Str("transfer".to_string())),
+                    ("op", ArgValue::U64(op)),
+                    ("bytes", ArgValue::U64(bytes)),
+                ],
+            );
+            Err(TransferError {
+                dir,
+                bytes,
+                op_index: op,
+                attempts: 1,
+            })
+        } else {
+            Ok(ev)
+        }
+    }
+
+    /// Hold `stream` for a simulated backoff delay between transfer retry
+    /// attempts; recorded as a `transfer_backoff` span. Returns the time
+    /// the stream resumes.
+    pub fn backoff_stream(&mut self, stream: StreamId, delay_ns: u64, attempt: u32) -> SimNanos {
+        let start = self.streams[stream.0];
+        let end = start + SimNanos::from_nanos(delay_ns);
+        self.streams[stream.0] = end;
+        self.tracer.span(
+            "transfer_backoff",
+            TraceKind::Span,
+            Lane::Stream(stream.0),
+            start,
+            end,
+            vec![
+                ("attempt", ArgValue::U64(attempt as u64)),
+                ("delay_ns", ArgValue::U64(delay_ns)),
+            ],
+        );
+        end
     }
 
     // ---- synchronization ------------------------------------------------
@@ -579,5 +810,111 @@ mod tests {
         assert!(g.alloc(50).is_err());
         g.free(a);
         assert!(g.alloc(50).is_ok());
+    }
+
+    #[test]
+    fn injected_oom_fires_at_the_nth_attempt_and_is_traced() {
+        let mut g = gpu();
+        g.install_faults(FaultPlan {
+            oom_at_alloc: vec![1],
+            ..FaultPlan::default()
+        });
+        let a = g.alloc(100).unwrap();
+        let err = g.alloc_labeled(100, "device_matrix").unwrap_err();
+        assert_eq!(err.label, "device_matrix");
+        assert!(g.alloc(100).is_ok(), "one-shot: next attempt succeeds");
+        assert_eq!(g.fault_stats().oom_injected, 1);
+        assert!(g
+            .trace()
+            .events()
+            .iter()
+            .any(|e| e.name == "fault_injected" && e.kind == TraceKind::Fault));
+        g.free(a);
+    }
+
+    #[test]
+    fn injected_transfer_failure_burns_bus_time_and_retries_succeed() {
+        let mut g = gpu();
+        g.install_faults(FaultPlan {
+            transfer_faults: vec![crate::faults::TransferFault { op: 0, failures: 1 }],
+            ..FaultPlan::default()
+        });
+        let s = g.default_stream();
+        let op = g.next_copy_op();
+        let err = g.try_copy(op, s, 1 << 20, true, TransferDir::H2D).unwrap_err();
+        assert_eq!(err.op_index, 0);
+        let after_fail = g.now();
+        assert!(after_fail > SimNanos::ZERO, "failed DMA still took time");
+        g.backoff_stream(s, g.transfer_backoff_ns(), 0);
+        let ok = g.try_copy(op, s, 1 << 20, true, TransferDir::H2D).unwrap();
+        assert!(ok.time() > after_fail);
+        assert_eq!(g.fault_stats().transfer_injected, 1);
+    }
+
+    #[test]
+    fn straggler_multiplier_stretches_the_launch() {
+        let busy_of = |g: &Gpu| {
+            let s = g.profiler().samples().last().unwrap();
+            (s.end - s.start).as_nanos()
+        };
+        let plain = {
+            let mut g = gpu();
+            g.launch(g.default_stream(), small_kernel());
+            busy_of(&g)
+        };
+        let mut g = gpu();
+        g.install_faults(FaultPlan {
+            straggler_ranges: vec![crate::faults::StragglerRange {
+                from: 0,
+                to: 1,
+                multiplier_milli: 4_000,
+            }],
+            ..FaultPlan::default()
+        });
+        g.launch(g.default_stream(), small_kernel());
+        assert_eq!(busy_of(&g), plain * 4, "busy time stretched exactly 4x");
+        assert_eq!(g.fault_stats().straggler_injected, 1);
+    }
+
+    #[test]
+    fn poison_arms_once_and_is_consumed() {
+        let mut g = gpu();
+        g.install_faults(FaultPlan {
+            poison_launches: vec![1],
+            ..FaultPlan::default()
+        });
+        let s = g.default_stream();
+        g.launch(s, small_kernel());
+        assert!(!g.take_poison_pending());
+        g.launch(s, small_kernel());
+        assert!(g.take_poison_pending());
+        assert!(!g.take_poison_pending(), "consumed");
+        assert_eq!(g.fault_stats().poison_injected, 1);
+    }
+
+    #[test]
+    fn release_since_frees_only_frame_local_buffers() {
+        let mut g = Gpu::new(DeviceConfig::with_capacity(1000));
+        let keep = g.alloc(100).unwrap();
+        let mark = g.mem_mark();
+        let _a = g.alloc(200).unwrap();
+        let _b = g.alloc(300).unwrap();
+        let (count, bytes) = g.release_since(mark);
+        assert_eq!((count, bytes), (2, 500));
+        assert_eq!(g.mem().in_use(), 100);
+        g.free(keep);
+        assert_eq!(g.release_since(mark), (0, 0));
+    }
+
+    #[test]
+    fn op_counters_track_the_index_space() {
+        let mut g = gpu();
+        let s = g.default_stream();
+        g.launch(s, small_kernel());
+        g.h2d(s, 1024, true);
+        g.d2h(s, 1024, true);
+        let _ = g.alloc(64).unwrap();
+        let c = g.op_counters();
+        assert_eq!((c.allocs, c.copy_ops, c.launches), (1, 2, 1));
     }
 }

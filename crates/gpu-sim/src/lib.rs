@@ -51,6 +51,7 @@
 mod config;
 mod cost;
 mod device;
+mod faults;
 mod graph_exec;
 mod memory;
 mod profiler;
@@ -61,6 +62,9 @@ mod trace;
 pub use config::DeviceConfig;
 pub use cost::{feature_row_access, AccessShape, KernelCategory, KernelCost, VectorWidth};
 pub use device::{Event, Gpu, StreamId, TransferDir};
+pub use faults::{
+    DeviceFault, FaultPlan, FaultStats, OpCounters, StragglerRange, TransferError, TransferFault,
+};
 pub use graph_exec::{CudaGraph, GraphBuilder};
 pub use memory::{BufferId, DeviceMemory, OomError};
 pub use profiler::{Breakdown, ProfSnapshot, Profiler, Sample, SampleKind};

@@ -21,6 +21,10 @@ pub struct OomError {
     pub in_use: u64,
     /// Total capacity in bytes.
     pub capacity: u64,
+    /// What the allocation was for (`"device_matrix"`, `"adjacency_csr"`,
+    /// …); empty for unlabeled allocations. Lets chaos reports and trace
+    /// events attribute the OOM to the allocating lane/kernel.
+    pub label: &'static str,
 }
 
 impl fmt::Display for OomError {
@@ -29,7 +33,11 @@ impl fmt::Display for OomError {
             f,
             "device out of memory: requested {} B with {} / {} B in use",
             self.requested, self.in_use, self.capacity
-        )
+        )?;
+        if !self.label.is_empty() {
+            write!(f, " (allocating {})", self.label)?;
+        }
+        Ok(())
     }
 }
 
@@ -66,11 +74,18 @@ impl DeviceMemory {
 
     /// Allocate `bytes`; fails with [`OomError`] past capacity.
     pub fn alloc(&mut self, bytes: u64) -> Result<BufferId, OomError> {
+        self.alloc_labeled(bytes, "")
+    }
+
+    /// [`DeviceMemory::alloc`] with an attribution label carried into any
+    /// [`OomError`].
+    pub fn alloc_labeled(&mut self, bytes: u64, label: &'static str) -> Result<BufferId, OomError> {
         if self.in_use + bytes > self.capacity {
             return Err(OomError {
                 requested: bytes,
                 in_use: self.in_use,
                 capacity: self.capacity,
+                label,
             });
         }
         let id = self.next_id;
@@ -136,6 +151,21 @@ impl DeviceMemory {
         self.peak = self.in_use;
     }
 
+    /// Watermark for [`DeviceMemory::live_ids_from`]: buffers allocated
+    /// from now on have ids `>=` the returned mark.
+    pub fn mark(&self) -> u64 {
+        self.next_id
+    }
+
+    /// All live buffers allocated at or after `mark`, in allocation order.
+    /// The rollback path (`Gpu::release_since`) uses this to free exactly
+    /// the allocations a failed frame attempt left behind.
+    pub fn live_ids_from(&self, mark: u64) -> Vec<BufferId> {
+        let mut ids: Vec<u64> = self.live.keys().copied().filter(|&id| id >= mark).collect();
+        ids.sort_unstable();
+        ids.into_iter().map(BufferId).collect()
+    }
+
     /// Total allocations performed.
     pub fn total_allocs(&self) -> u64 {
         self.total_allocs
@@ -199,6 +229,31 @@ mod tests {
         let _b = m.alloc(100).unwrap();
         assert_eq!(m.peak(), 100);
         assert_eq!(m.peak_ever(), 800, "all-time high-water survives resets");
+    }
+
+    #[test]
+    fn labeled_oom_carries_attribution() {
+        let mut m = DeviceMemory::new(100);
+        let err = m.alloc_labeled(200, "adjacency_csr").unwrap_err();
+        assert_eq!(err.label, "adjacency_csr");
+        assert!(err.to_string().contains("adjacency_csr"));
+        let err = m.alloc(200).unwrap_err();
+        assert_eq!(err.label, "");
+        assert!(!err.to_string().contains("allocating"));
+    }
+
+    #[test]
+    fn live_ids_from_mark_sees_only_newer_buffers() {
+        let mut m = DeviceMemory::new(1000);
+        let a = m.alloc(10).unwrap();
+        let mark = m.mark();
+        let b = m.alloc(20).unwrap();
+        let c = m.alloc(30).unwrap();
+        m.free(b);
+        let since = m.live_ids_from(mark);
+        assert_eq!(since, vec![c]);
+        assert!(!since.contains(&a));
+        assert!(m.live_ids_from(m.mark()).is_empty());
     }
 
     #[test]

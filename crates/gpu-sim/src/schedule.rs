@@ -141,7 +141,7 @@ mod tests {
         skewed.push(1000);
         let before = schedule_blocks(&skewed, 8).factor();
         let mut sliced = vec![1u64; 63];
-        sliced.extend(std::iter::repeat(32).take((1000 / 32) + 1));
+        sliced.extend(std::iter::repeat_n(32, (1000 / 32) + 1));
         let after = schedule_blocks(&sliced, 8).factor();
         assert!(after < before / 2.0, "before={before} after={after}");
     }

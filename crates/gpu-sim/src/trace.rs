@@ -92,6 +92,9 @@ pub enum TraceKind {
     Span,
     /// Point event (stream wait, stage transition, alloc, OOM, decision).
     Instant,
+    /// Injected-fault point event (`fault_injected`); its own category so
+    /// fault → recovery chains filter cleanly in trace viewers.
+    Fault,
     /// Counter sample (device memory in use).
     Counter,
 }
@@ -105,6 +108,7 @@ impl TraceKind {
             TraceKind::HostOp => "host",
             TraceKind::Span => "control",
             TraceKind::Instant => "instant",
+            TraceKind::Fault => "fault",
             TraceKind::Counter => "counter",
         }
     }
@@ -218,6 +222,24 @@ impl Tracer {
         self.events.push(TraceEvent {
             name,
             kind: TraceKind::Instant,
+            lane,
+            ts,
+            dur: SimNanos::ZERO,
+            args,
+        });
+    }
+
+    /// Record an injected-fault point event ([`TraceKind::Fault`]).
+    pub fn fault(
+        &mut self,
+        name: &'static str,
+        lane: Lane,
+        ts: SimNanos,
+        args: Vec<(&'static str, ArgValue)>,
+    ) {
+        self.events.push(TraceEvent {
+            name,
+            kind: TraceKind::Fault,
             lane,
             ts,
             dur: SimNanos::ZERO,

@@ -22,7 +22,12 @@ impl DeviceMatrix {
     /// Allocate device memory for `m` (no transfer charged — use
     /// `transfer::upload_matrix` when the bytes cross PCIe).
     pub fn alloc(gpu: &mut Gpu, m: Matrix) -> Result<Self, OomError> {
-        let buf = gpu.alloc(m.bytes())?;
+        Self::alloc_labeled(gpu, m, "device_matrix")
+    }
+
+    /// [`DeviceMatrix::alloc`] with an OOM-attribution label.
+    pub fn alloc_labeled(gpu: &mut Gpu, m: Matrix, label: &'static str) -> Result<Self, OomError> {
+        let buf = gpu.alloc_labeled(m.bytes(), label)?;
         Ok(DeviceMatrix { host: m, buf })
     }
 
@@ -78,9 +83,9 @@ impl DeviceCsr {
     /// Alloc.
     pub fn alloc(gpu: &mut Gpu, csr: Rc<Csr>, with_csc: bool) -> Result<Self, OomError> {
         let bytes = csr.bytes();
-        let buf = gpu.alloc(bytes)?;
+        let buf = gpu.alloc_labeled(bytes, "adjacency_csr")?;
         let csc_buf = if with_csc {
-            match gpu.alloc(bytes) {
+            match gpu.alloc_labeled(bytes, "adjacency_csc") {
                 Ok(b) => Some(b),
                 Err(e) => {
                     gpu.free(buf);
@@ -152,7 +157,7 @@ pub struct DeviceSliced {
 impl DeviceSliced {
     /// Alloc.
     pub fn alloc(gpu: &mut Gpu, sliced: Rc<SlicedCsr>) -> Result<Self, OomError> {
-        let buf = gpu.alloc(sliced.bytes())?;
+        let buf = gpu.alloc_labeled(sliced.bytes(), "adjacency_sliced")?;
         Ok(DeviceSliced {
             sliced,
             buf: Some(buf),

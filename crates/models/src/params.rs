@@ -193,7 +193,7 @@ mod tests {
         assert!(p.host().approx_eq(&Matrix::full(2, 2, 0.95), 1e-6));
         // the optimizer kernel was billed
         let b = gpu.profiler().full();
-        assert_eq!(b.compute_by_category.get("optimizer").is_some(), true);
+        assert!(b.compute_by_category.contains_key("optimizer"));
     }
 
     #[test]

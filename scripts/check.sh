@@ -2,9 +2,10 @@
 # Tier-1 gate plus the determinism contracts.
 #
 # Builds the workspace, lints it, runs the full test suite, then re-runs
-# the two determinism suites under forced thread counts (PIPAD_THREADS=1
-# and =4): the host-parallel bit-exactness contract and the trace-export
-# byte-identity contract (golden Chrome-trace regression).
+# the determinism suites under forced thread counts (PIPAD_THREADS=1 and
+# =4): the host-parallel bit-exactness contract, the trace-export
+# byte-identity contract (golden Chrome-trace regression), and the chaos
+# gate (`repro chaos` twice, diffing the fault-injection reports).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -28,5 +29,16 @@ PIPAD_THREADS=1 cargo test -q --test trace_golden
 
 echo "== trace determinism @ PIPAD_THREADS=4 =="
 PIPAD_THREADS=4 cargo test -q --test trace_golden
+
+echo "== chaos determinism (repro chaos @ PIPAD_THREADS=1 vs =4) =="
+chaos_dir="$(mktemp -d)"
+trap 'rm -rf "$chaos_dir"' EXIT
+PIPAD_THREADS=1 cargo run -q --release -p pipad-bench --bin repro -- \
+    chaos --scale tiny --out "$chaos_dir/t1"
+PIPAD_THREADS=4 cargo run -q --release -p pipad-bench --bin repro -- \
+    chaos --scale tiny --out "$chaos_dir/t4"
+diff "$chaos_dir/t1/chaos.json" "$chaos_dir/t4/chaos.json"
+diff "$chaos_dir/t1/chaos.txt" "$chaos_dir/t4/chaos.txt"
+echo "chaos report byte-identical across thread counts"
 
 echo "== all checks passed =="

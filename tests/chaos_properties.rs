@@ -1,0 +1,73 @@
+//! Chaos properties: training under an arbitrary *seeded* fault plan
+//! either completes or fails with a typed [`DeviceFault`] — it never
+//! panics — and the entire run, structured trace included, is a pure
+//! function of the plan: byte-identical Chrome exports across repeats and
+//! across host thread counts.
+//!
+//! Plans come from [`FaultPlan::seeded`], so each proptest case covers a
+//! different random mix of one-shot OOMs, usage thresholds, transient
+//! transfer faults, straggler windows and poisoned launches.
+
+use pipad::{train_pipad, PipadConfig};
+use pipad_dyngraph::{DatasetId, Scale};
+use pipad_gpu_sim::{export_chrome_trace, DeviceConfig, FaultPlan, Gpu};
+use pipad_models::{ModelKind, TrainingConfig};
+use pipad_pool::with_threads;
+use proptest::prelude::*;
+
+/// One full training run under `plan`: the loss bit-patterns (or the typed
+/// error's message) plus the Chrome-trace export.
+fn run_once(plan: &FaultPlan) -> (Result<Vec<u32>, String>, String) {
+    let graph = DatasetId::Covid19England.gen_config(Scale::Tiny).generate();
+    let cfg = TrainingConfig {
+        window: 8,
+        epochs: 4,
+        preparing_epochs: 2,
+        lr: 0.01,
+        seed: 7,
+    };
+    let mut gpu = Gpu::new(DeviceConfig::v100());
+    gpu.install_faults(plan.clone());
+    let res = train_pipad(
+        &mut gpu,
+        ModelKind::TGcn,
+        &graph,
+        16,
+        &cfg,
+        &PipadConfig::default(),
+    );
+    let outcome = match res {
+        Ok(r) => Ok(r.losses().iter().map(|l| l.to_bits()).collect()),
+        Err(e) => Err(e.to_string()),
+    };
+    (outcome, export_chrome_trace(gpu.trace(), 0))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn seeded_plans_never_panic_and_runs_are_thread_invariant(seed in 0u64..u64::MAX) {
+        let plan = FaultPlan::seeded(seed);
+        // `run_once` returning at all — Ok or a typed error — IS the
+        // no-panic property: any panic fails the test.
+        let (r1, t1) = with_threads(1, || run_once(&plan));
+        let (r4, t4) = with_threads(4, || run_once(&plan));
+        let (r1b, t1b) = with_threads(1, || run_once(&plan));
+
+        // Identical plan => byte-identical trace, at 1 or 4 host threads
+        // and across repeats.
+        prop_assert_eq!(&r1, &r4, "outcome differs across host thread counts (seed {})", seed);
+        prop_assert_eq!(&r1, &r1b, "outcome differs across repeats (seed {})", seed);
+        prop_assert_eq!(&t1, &t4, "chrome trace differs across host thread counts (seed {})", seed);
+        prop_assert_eq!(&t1, &t1b, "chrome trace differs across repeats (seed {})", seed);
+
+        match r1 {
+            Ok(losses) => prop_assert!(!losses.is_empty(), "completed run must report losses"),
+            // A failing run surfaces a typed DeviceFault whose Display
+            // carries the fault detail (OOM attribution label, transfer op
+            // index, ...) — never an empty or panicky message.
+            Err(msg) => prop_assert!(!msg.is_empty(), "typed error must render a message"),
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! Differential fault-equivalence: a fault plan whose every injected fault
+//! is *fully recovered* must leave the training numerics untouched —
+//! bit-identical per-epoch losses versus the fault-free run — for all
+//! three paper models.
+//!
+//! Fault placement is probed, not guessed: a fault-free run and an
+//! all-preparing prefix run give the deterministic op-counter space, and
+//! the plan lands one recoverable fault of each numerics-neutral kind
+//! (one-shot OOM, transient transfer failure, straggler window) at the
+//! midpoint of the steady phase.
+
+use pipad::{train_pipad, PipadConfig};
+use pipad_dyngraph::{DatasetId, DynamicGraph, Scale};
+use pipad_gpu_sim::{
+    DeviceConfig, FaultPlan, FaultStats, Gpu, OpCounters, StragglerRange, TransferFault,
+};
+use pipad_models::{ModelKind, TrainingConfig};
+
+const HIDDEN: usize = 16;
+
+fn config(epochs: usize) -> TrainingConfig {
+    TrainingConfig {
+        window: 8,
+        epochs,
+        preparing_epochs: 2,
+        lr: 0.01,
+        seed: 7,
+    }
+}
+
+struct Obs {
+    loss_bits: Vec<u32>,
+    counters: OpCounters,
+    stats: FaultStats,
+    recovery_instants: usize,
+    backoff_spans: usize,
+}
+
+fn observe(kind: ModelKind, graph: &DynamicGraph, epochs: usize, plan: Option<&FaultPlan>) -> Obs {
+    let mut gpu = Gpu::new(DeviceConfig::v100());
+    if let Some(p) = plan {
+        gpu.install_faults(p.clone());
+    }
+    let report = train_pipad(
+        &mut gpu,
+        kind,
+        graph,
+        HIDDEN,
+        &config(epochs),
+        &PipadConfig::default(),
+    )
+    .unwrap_or_else(|e| panic!("{kind:?}: run must complete, got {e}"));
+    let mut recovery_instants = 0;
+    let mut backoff_spans = 0;
+    for e in gpu.trace().events() {
+        match e.name {
+            "recovery" => recovery_instants += 1,
+            "transfer_backoff" => backoff_spans += 1,
+            _ => {}
+        }
+    }
+    Obs {
+        loss_bits: report.losses().iter().map(|l| l.to_bits()).collect(),
+        counters: gpu.op_counters(),
+        stats: gpu.fault_stats(),
+        recovery_instants,
+        backoff_spans,
+    }
+}
+
+#[test]
+fn recovered_faults_leave_losses_bit_identical_for_all_models() {
+    let graph = DatasetId::Covid19England.gen_config(Scale::Tiny).generate();
+    for kind in ModelKind::ALL {
+        let free = observe(kind, &graph, 4, None);
+        assert!(
+            free.stats.total() == 0 && free.recovery_instants == 0,
+            "{kind:?}: fault-free probe must be clean"
+        );
+        let prep = observe(kind, &graph, 2, None);
+
+        // One numerics-neutral fault of each kind, mid-steady-phase:
+        // - the one-shot OOM rolls the frame back and retries;
+        // - the single transfer failure is absorbed by the copy layer's
+        //   bounded retry (one backoff span, same payload re-sent);
+        // - the straggler window only stretches simulated time.
+        let plan = FaultPlan {
+            oom_at_alloc: vec![(prep.counters.allocs + free.counters.allocs) / 2],
+            transfer_faults: vec![TransferFault {
+                op: (prep.counters.copy_ops + free.counters.copy_ops) / 2,
+                failures: 1,
+            }],
+            straggler_ranges: vec![StragglerRange {
+                from: (prep.counters.launches + free.counters.launches) / 2,
+                to: (prep.counters.launches + free.counters.launches) / 2 + 64,
+                multiplier_milli: 5_000,
+            }],
+            ..FaultPlan::default()
+        };
+        let faulted = observe(kind, &graph, 4, Some(&plan));
+
+        assert!(
+            faulted.stats.oom_injected >= 1,
+            "{kind:?}: the planned OOM never fired ({:?})",
+            faulted.stats
+        );
+        assert!(
+            faulted.stats.transfer_injected >= 1,
+            "{kind:?}: the planned transfer fault never fired ({:?})",
+            faulted.stats
+        );
+        assert!(
+            faulted.stats.straggler_injected >= 1,
+            "{kind:?}: the planned straggler window never fired ({:?})",
+            faulted.stats
+        );
+        assert!(
+            faulted.recovery_instants >= 1,
+            "{kind:?}: OOM recovery left no recovery instant in the trace"
+        );
+        assert!(
+            faulted.backoff_spans >= 1,
+            "{kind:?}: transfer retry left no transfer_backoff span in the trace"
+        );
+        assert_eq!(
+            faulted.loss_bits, free.loss_bits,
+            "{kind:?}: fully-recovered faults must not perturb the losses"
+        );
+    }
+}

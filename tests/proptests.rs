@@ -6,7 +6,7 @@ use pipad_repro::gpu_sim::{schedule_blocks, DeviceConfig, Gpu, SimNanos};
 use pipad_repro::kernels::{
     spmm_coo_scatter, spmm_gespmm, spmm_sliced_parallel, upload_csr, upload_matrix, upload_sliced,
 };
-use pipad_repro::sparse::{extract_overlap, graph_diff, Coo, Csr, SlicedCsr};
+use pipad_repro::sparse::{extract_overlap, graph_diff, Csr, SlicedCsr};
 use pipad_repro::tensor::Matrix;
 use proptest::prelude::*;
 use std::collections::HashSet;

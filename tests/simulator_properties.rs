@@ -6,6 +6,7 @@
 use pipad_repro::gpu_sim::{
     feature_row_access, DeviceConfig, Gpu, KernelCategory, KernelCost, SimNanos, VectorWidth,
 };
+use pipad_repro::pipad::{DynamicTuner, FrameProfile, GraphAnalyzer, OfflineTable, PartitionCatalog};
 use proptest::prelude::*;
 
 fn kernel(flops: u64, txns: u64) -> KernelCost {
@@ -227,5 +228,66 @@ proptest! {
         let a = run(&work);
         let b = run(&work);
         prop_assert_eq!(a, b);
+    }
+}
+
+// ---- tuner under memory pressure ------------------------------------------
+//
+// The OOM-recovery ladder shrinks `S_per` one tuner step at a time
+// (`DynamicTuner::downshift`); these properties pin the invariants the
+// trainer relies on: a decision never exceeds the memory-derived upper
+// bound `U = budget / one-snapshot-peak`, and the downshift chain from any
+// decision is strictly decreasing until it reaches (and then stays at) 1 —
+// so every rung of the ladder still respects the bound the decision did.
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn tuner_decisions_and_downshifts_respect_the_memory_bound(
+        peak in 1_000u64..8_000_000,
+        budget in 1_000u64..32_000_000,
+        compute_us in 100u64..100_000,
+    ) {
+        let graph = pipad_repro::dyngraph::DatasetId::Covid19England
+            .gen_config(pipad_repro::dyngraph::Scale::Tiny)
+            .generate();
+        let mut gpu = Gpu::new(DeviceConfig::v100());
+        let mut host_cursor = SimNanos::ZERO;
+        let analyzer = GraphAnalyzer::run(&mut gpu, &graph, &mut host_cursor);
+        let catalog = PartitionCatalog::build(&mut gpu, &analyzer, &mut host_cursor);
+
+        let tuner = DynamicTuner::new(OfflineTable::default(), budget, 16_000, 16);
+        let profile = FrameProfile {
+            peak_mem_one_snapshot: peak,
+            compute_time: SimNanos::from_nanos(compute_us * 1_000),
+            transfer_bytes: 0,
+        };
+        let window = 8usize;
+        let d = tuner.decide(&profile, &catalog, 0, window);
+        let bound = ((budget / peak) as usize).max(1);
+        prop_assert!(d.s_per >= 1);
+        prop_assert!(
+            d.s_per <= bound,
+            "decision {} exceeds memory bound {} (budget {budget}, peak {peak})",
+            d.s_per, bound
+        );
+        prop_assert_eq!(d.memory_bound, bound);
+        prop_assert!(d.s_per <= window);
+
+        // After an OOM, the trainer walks the decision down the ladder:
+        // every rung is strictly smaller (hence still within the bound)
+        // until the floor, which maps to itself as the give-up signal.
+        let mut s = d.s_per;
+        let mut steps = 0;
+        while s > 1 {
+            let down = DynamicTuner::downshift(s);
+            prop_assert!(down < s, "downshift must strictly decrease ({s} -> {down})");
+            prop_assert!(down <= bound, "downshifted {down} escaped the bound {bound}");
+            s = down;
+            steps += 1;
+            prop_assert!(steps <= 4, "ladder 8->4->2->1 has at most 3 rungs");
+        }
+        prop_assert_eq!(DynamicTuner::downshift(1), 1, "the floor maps to itself");
     }
 }

@@ -21,6 +21,11 @@ fn failed_alloc_is_traced_with_occupancy() {
     let _b = gpu.alloc(256 << 10).expect("second alloc fits");
     let err = gpu.alloc(512 << 10).expect_err("third alloc must OOM");
     assert_eq!(err.requested, 512 << 10);
+    assert_eq!(err.label, "alloc", "raw Gpu::alloc carries the default label");
+    assert!(
+        err.to_string().contains("allocating alloc"),
+        "Display must attribute the allocation: {err}"
+    );
 
     let ooms: Vec<_> = gpu
         .trace()
@@ -42,6 +47,9 @@ fn failed_alloc_is_traced_with_occupancy() {
     assert_eq!(format!("{:?}", arg("requested")), "U64(524288)");
     assert_eq!(format!("{:?}", arg("in_use")), "U64(786432)");
     assert_eq!(format!("{:?}", arg("capacity")), "U64(1048576)");
+    assert_eq!(format!("{:?}", arg("label")), "Str(\"alloc\")");
+    // A genuine capacity OOM, not an injected one.
+    assert_eq!(format!("{:?}", arg("injected")), "Bool(false)");
 
     // Freeing after the failure must not disturb the recorded high water.
     gpu.free(a);
@@ -74,6 +82,14 @@ fn training_oom_surfaces_in_trace() {
         &PipadConfig::default(),
     );
     assert!(res.is_err(), "64 KiB device must OOM");
+    if let Err(pipad_gpu_sim::DeviceFault::Oom(e)) = &res {
+        assert!(
+            !e.label.is_empty(),
+            "a training OOM must attribute the failing allocation"
+        );
+    } else {
+        panic!("expected DeviceFault::Oom, got {res:?}");
+    }
     assert!(
         gpu.trace().events().iter().any(|e| e.name == "alloc_oom"),
         "the aborted run must leave an alloc_oom instant in the trace"
