@@ -171,7 +171,7 @@ impl Tape {
 
     /// Read a node's value (clones the host matrix).
     pub fn host(&self, v: Var) -> Matrix {
-        self.dev(v).host().clone()
+        self.dev(v).host().clone_in()
     }
 
     /// Apply `f` to a node's value without cloning.
@@ -181,7 +181,7 @@ impl Tape {
 
     /// Accumulated gradient of a node, if backward reached it.
     pub fn grad(&self, v: Var) -> Option<Matrix> {
-        self.nodes[v.0].grad.as_ref().map(|g| g.host().clone())
+        self.nodes[v.0].grad.as_ref().map(|g| g.host().clone_in())
     }
 
     fn push_owned(
@@ -354,13 +354,13 @@ impl Tape {
             let mut acc = if let Some(ov) = overlap.as_ref().filter(|_| size > 1) {
                 let handle = k::DeviceSliced::resident(Rc::clone(ov));
                 let out = k::spmm_sliced_parallel(gpu, s, &handle, &d_co, size)?;
-                d_co.free(gpu);
+                d_co.release(gpu);
                 out
             } else {
                 let rows = hosts[0].rows();
                 let cols: usize = hosts.iter().map(|h| h.cols()).sum();
                 d_co.free(gpu);
-                DeviceMatrix::alloc(gpu, Matrix::zeros(rows, cols))?
+                DeviceMatrix::alloc(gpu, Matrix::zeros_in(rows, cols))?
             };
             // Exclusive passes: their output writes are the atomic adds into
             // `acc` — the kernel cost already covers them, so the host-side
@@ -373,7 +373,7 @@ impl Tape {
                     let dx = self.dev(xs[kx]);
                     let part = k::spmm_sliced_parallel(gpu, s, &handle, &dx, 1)?;
                     drop(dx);
-                    let mut merged = acc.host().clone();
+                    let mut merged = acc.host().clone_in();
                     let n_rows = merged.rows();
                     let n_cols = merged.cols();
                     let ph = part.host();
@@ -390,16 +390,19 @@ impl Tape {
                             }
                         }
                     });
-                    part.free(gpu);
+                    part.release(gpu);
                     acc.store(merged);
                 }
                 col += width;
+            }
+            for h in hosts {
+                h.recycle();
             }
             acc
         };
         // Normalization epilogue.
         let out = k::row_scale_multi(gpu, s, &raw, &inv_degs, cat)?;
-        raw.free(gpu);
+        raw.release(gpu);
         let rg = xs.iter().any(|&x| self.requires(x));
         Ok(self.push_computed(
             gpu,
@@ -698,8 +701,8 @@ impl Tape {
             Some(prev) => {
                 let cat = self.nodes[v.0].category;
                 let sum = k::add(gpu, self.stream, &prev, &g, cat)?;
-                prev.free(gpu);
-                g.free(gpu);
+                prev.release(gpu);
+                g.release(gpu);
                 self.nodes[v.0].grad = Some(sum);
             }
         }
@@ -861,24 +864,25 @@ impl Tape {
                         let handle = k::DeviceSliced::resident(Rc::clone(excl));
                         k::spmm_sliced_parallel(gpu, s, &handle, &g_k, 1)?
                     } else {
-                        DeviceMatrix::alloc(gpu, Matrix::zeros(self.shape(x).0, width))?
+                        DeviceMatrix::alloc(gpu, Matrix::zeros_in(self.shape(x).0, width))?
                     };
-                    g_k.free(gpu);
+                    g_k.release(gpu);
                     if let Some(og) = &over_grad {
                         // accumulate the overlap contribution (atomic adds —
                         // already charged by the parallel kernel's outputs)
                         let slice = og.host().slice_cols(col, col + width);
-                        let mut merged = dx.host().clone();
+                        let mut merged = dx.host().clone_in();
                         merged.add_assign(&slice);
+                        slice.recycle();
                         dx.store(merged);
                     }
                     self.accumulate(gpu, x, dx)?;
                     col += width;
                 }
                 if let Some(og) = over_grad {
-                    og.free(gpu);
+                    og.release(gpu);
                 }
-                g_scaled.free(gpu);
+                g_scaled.release(gpu);
             }
             Plan::RowScale(x, factors) => {
                 if self.requires(x) {
@@ -915,7 +919,8 @@ impl Tape {
                         .uniform_blocks(nnz.div_ceil(128).max(1) as usize, 128);
                     gpu.launch(s, cost);
                     let g_host = g.host();
-                    let mut dalpha = vec![0.0f32; adj.nnz()];
+                    let mut dalpha = pipad_tensor::take_buf(adj.nnz());
+                    dalpha.resize(adj.nnz(), 0.0);
                     let mut kidx = 0usize;
                     for u in 0..adj.n_rows() {
                         for &v in adj.row(u) {
@@ -933,8 +938,8 @@ impl Tape {
                         .uniform_blocks(nnz.div_ceil(128).max(1) as usize, 128);
                     gpu.launch(s, cost);
                     let offsets = adj.row_offsets();
-                    let mut dl_host = Matrix::zeros(adj.n_rows(), 1);
-                    let mut dr_host = Matrix::zeros(adj.n_cols(), 1);
+                    let mut dl_host = Matrix::zeros_in(adj.n_rows(), 1);
+                    let mut dr_host = Matrix::zeros_in(adj.n_cols(), 1);
                     for u in 0..adj.n_rows() {
                         let (a, b) = (offsets[u] as usize, offsets[u + 1] as usize);
                         if a == b {
@@ -957,6 +962,7 @@ impl Tape {
                         let dr = DeviceMatrix::alloc(gpu, dr_host)?;
                         self.accumulate(gpu, r, dr)?;
                     }
+                    pipad_tensor::recycle_buf(dalpha);
                 }
             }
             Plan::Add(a, b) => {
@@ -1063,7 +1069,7 @@ impl Tape {
                     // View gradient: scatter into a zero parent (no kernel —
                     // the forward was a view; see kernels' concat_cols docs).
                     let (rows, cols) = self.shape(x);
-                    let mut padded = Matrix::zeros(rows, cols);
+                    let mut padded = Matrix::zeros_in(rows, cols);
                     for r in 0..g.rows() {
                         padded.row_mut(from + r).copy_from_slice(g.host().row(r));
                     }
@@ -1075,7 +1081,7 @@ impl Tape {
                 if self.requires(x) {
                     // View gradient (no kernel).
                     let (rows, cols) = self.shape(x);
-                    let mut padded = Matrix::zeros(rows, cols);
+                    let mut padded = Matrix::zeros_in(rows, cols);
                     for r in 0..rows {
                         padded.row_mut(r)[from..from + g.cols()].copy_from_slice(g.host().row(r));
                     }
@@ -1094,10 +1100,10 @@ impl Tape {
     pub fn finish(self, gpu: &mut Gpu) {
         for node in self.nodes {
             if let Value::Owned(m) = node.value {
-                m.free(gpu);
+                m.release(gpu);
             }
             if let Some(g) = node.grad {
-                g.free(gpu);
+                g.release(gpu);
             }
         }
     }

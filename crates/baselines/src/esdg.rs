@@ -17,8 +17,8 @@ use pipad_dyngraph::{DynamicGraph, FrameIter};
 use pipad_gpu_sim::{Event, Gpu, OomError, SimNanos, StreamId};
 use pipad_kernels::{DeviceCsr, DeviceMatrix};
 use pipad_models::{
-    build_model, normalize_snapshot, EpochReport, GnnExecutor, ModelKind, NormalizedAdj,
-    TrainReport, TrainingConfig,
+    build_model, normalize_snapshot, EpochReport, GnnExecutor, HostAllocStats, ModelKind,
+    NormalizedAdj, TrainReport, TrainingConfig,
 };
 use pipad_sparse::graph_diff;
 use std::collections::HashMap;
@@ -134,7 +134,7 @@ impl GnnExecutor for EsdgExecutor<'_> {
                 let s = &self.window.snapshots[&(self.frame_start + i)];
                 gpu.wait_event(self.compute, s.ready);
                 // features are resident: wrap without charging a transfer
-                let dm = DeviceMatrix::alloc(gpu, s.features_host.clone())?;
+                let dm = DeviceMatrix::alloc(gpu, s.features_host.clone_in())?;
                 Ok(tape.input(dm))
             })
             .collect()
@@ -189,6 +189,7 @@ pub fn train_esdg(
 
     for epoch in 0..cfg.epochs {
         let t0 = gpu.synchronize().max(host_cursor);
+        let alloc0 = HostAllocStats::capture();
         if epoch == preparing {
             steady_snap = Some(gpu.profiler().snapshot());
             steady_t0 = t0;
@@ -222,6 +223,7 @@ pub fn train_esdg(
             epoch,
             mean_loss: losses.iter().sum::<f32>() / losses.len().max(1) as f32,
             sim_time: t1 - t0,
+            alloc: HostAllocStats::capture().since(&alloc0),
         });
     }
     window.clear(gpu);

@@ -72,7 +72,7 @@ impl<'c> BaselineExecutor<'c> {
         for &(global_idx, adj, feats) in frame {
             let cached_host = reuse
                 .as_mut()
-                .and_then(|c| c.get(global_idx).cloned());
+                .and_then(|c| c.get(global_idx).map(pipad_tensor::Matrix::clone_in));
             // Host-side preparation (framework overhead + staging copy).
             let moved_bytes = match &cached_host {
                 Some(cached) => cached.bytes(),
@@ -132,10 +132,10 @@ impl<'c> BaselineExecutor<'c> {
             // Unconsumed feature/cached buffers (e.g. a model that never
             // called aggregate_inputs) are freed here too.
             if let Some(f) = slot.features {
-                f.free(gpu);
+                f.release(gpu);
             }
             if let Some(c) = slot.cached_agg {
-                c.free(gpu);
+                c.release(gpu);
             }
         }
     }

@@ -5,7 +5,7 @@ use crate::reuse::ReuseCache;
 use pipad_autograd::{AggregationKernel, Tape};
 use pipad_dyngraph::{DynamicGraph, FrameIter};
 use pipad_gpu_sim::{Gpu, OomError, SimNanos};
-use pipad_models::{build_model, EpochReport, ModelKind, TrainReport, TrainingConfig};
+use pipad_models::{build_model, EpochReport, HostAllocStats, ModelKind, TrainReport, TrainingConfig};
 use pipad_sparse::Csr;
 use pipad_tensor::Matrix;
 
@@ -94,6 +94,7 @@ pub fn train_baseline(
 
     for epoch in 0..cfg.epochs {
         let t0 = gpu.synchronize().max(host_cursor);
+        let alloc0 = HostAllocStats::capture();
         if epoch == cfg.preparing_epochs.min(cfg.epochs - 1) {
             steady_snap = Some(gpu.profiler().snapshot());
             steady_t0 = t0;
@@ -129,6 +130,7 @@ pub fn train_baseline(
             epoch,
             mean_loss: losses.iter().sum::<f32>() / losses.len().max(1) as f32,
             sim_time: t1 - t0,
+            alloc: HostAllocStats::capture().since(&alloc0),
         });
     }
 

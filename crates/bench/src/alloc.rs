@@ -1,0 +1,270 @@
+//! `repro alloc` — host allocation profile of the zero-alloc steady state.
+//!
+//! Trains each paper model with PiPAD and reports, per epoch, the host
+//! heap traffic (allocator calls and bytes, measured by the counting
+//! global allocator the `repro` binary installs) next to the buffer-pool
+//! counters (freelist hits vs heap fall-throughs). The headline number is
+//! the steady-vs-preparing reduction: preparing epochs run against a cold
+//! pool and build the sliced/overlap structures, so they allocate; steady
+//! epochs should recycle every hot-path matrix buffer and approach zero
+//! heap traffic.
+//!
+//! Heap columns read all-zero when the counting allocator is not
+//! installed (library tests); pool columns are always live.
+//!
+//! The census pins the host worker pool to a single thread: the heap
+//! counters are process-global, and preparing-phase `par_map` work would
+//! otherwise allocate on worker threads with a band-count-dependent
+//! pattern, breaking the repo's byte-identical-across-`PIPAD_THREADS`
+//! contract for `repro` artifacts. Training numerics are bit-identical
+//! at every thread count regardless (see `tests/pool_equivalence.rs`),
+//! so pinning changes nothing but the census's determinism.
+
+use crate::util::{dataset, default_training_config, Method, RunScale};
+use pipad_dyngraph::DatasetId;
+use pipad_models::{HostAllocStats, ModelKind};
+use std::fmt::Write as _;
+
+/// One epoch's host-allocation record.
+pub struct EpochAlloc {
+    /// Epoch index.
+    pub epoch: usize,
+    /// Whether this was a preparing (pre-pipeline) epoch.
+    pub preparing: bool,
+    /// Heap/pool counter deltas over the epoch.
+    pub stats: HostAllocStats,
+}
+
+/// Allocation profile of one model's training run.
+pub struct ModelAlloc {
+    /// The model.
+    pub model: ModelKind,
+    /// Per-epoch records, in epoch order.
+    pub epochs: Vec<EpochAlloc>,
+}
+
+impl ModelAlloc {
+    fn mean(&self, preparing: bool, f: impl Fn(&HostAllocStats) -> u64) -> f64 {
+        let sel: Vec<u64> = self
+            .epochs
+            .iter()
+            .filter(|e| e.preparing == preparing)
+            .map(|e| f(&e.stats))
+            .collect();
+        if sel.is_empty() {
+            0.0
+        } else {
+            sel.iter().sum::<u64>() as f64 / sel.len() as f64
+        }
+    }
+
+    /// Mean heap allocator calls per preparing epoch.
+    pub fn preparing_allocs(&self) -> f64 {
+        self.mean(true, |s| s.heap_allocs)
+    }
+
+    /// Mean heap allocator calls per steady-state epoch.
+    pub fn steady_allocs(&self) -> f64 {
+        self.mean(false, |s| s.heap_allocs)
+    }
+
+    /// Mean hot-path heap allocations (matrix-buffer pool misses — every
+    /// miss is a `Vec::with_capacity` on the heap) per preparing epoch.
+    pub fn preparing_hot_allocs(&self) -> f64 {
+        self.mean(true, |s| s.pool_misses)
+    }
+
+    /// Mean hot-path heap allocations per steady-state epoch.
+    pub fn steady_hot_allocs(&self) -> f64 {
+        self.mean(false, |s| s.pool_misses)
+    }
+
+    /// Steady-vs-preparing reduction in hot-path (matrix-buffer) heap
+    /// allocations, percent. This is the headline zero-alloc number:
+    /// preparing epochs run cold and allocate every buffer; steady epochs
+    /// serve the working set from the pool's freelists.
+    pub fn reduction_pct(&self) -> f64 {
+        let prep = self.preparing_hot_allocs();
+        if prep <= 0.0 {
+            return 0.0;
+        }
+        (1.0 - self.steady_hot_allocs() / prep) * 100.0
+    }
+
+    /// Steady-vs-preparing reduction in *total* heap allocator calls,
+    /// percent. Smaller than [`ModelAlloc::reduction_pct`]: the total
+    /// includes the simulator's own tracing/profiling bookkeeping, which a
+    /// real deployment would not run per kernel launch.
+    pub fn heap_reduction_pct(&self) -> f64 {
+        let prep = self.preparing_allocs();
+        if prep <= 0.0 {
+            return 0.0;
+        }
+        (1.0 - self.steady_allocs() / prep) * 100.0
+    }
+}
+
+/// Train every paper model with PiPAD and collect per-epoch allocation
+/// stats. The buffer pool is reset before each run so every model starts
+/// cold and the profiles are independent of run order.
+pub fn measure(scale: RunScale) -> Vec<ModelAlloc> {
+    let graph = dataset(DatasetId::Covid19England, scale);
+    let cfg = default_training_config(scale);
+    // Single-threaded census: see the module docs. Serial execution keeps
+    // every allocation on the measuring thread, so the report is
+    // byte-identical at any ambient `PIPAD_THREADS`.
+    pipad_pool::with_threads(1, || {
+        ModelKind::ALL
+            .iter()
+            .map(|&model| {
+                pipad_tensor::reset_pool();
+                let report = Method::Pipad.run(model, &graph, 16, &cfg);
+                let epochs = report
+                    .epochs
+                    .iter()
+                    .map(|e| EpochAlloc {
+                        epoch: e.epoch,
+                        preparing: e.epoch < cfg.preparing_epochs,
+                        stats: e.alloc,
+                    })
+                    .collect();
+                ModelAlloc { model, epochs }
+            })
+            .collect()
+    })
+}
+
+/// Render the human-readable report (`results/alloc.txt`).
+pub fn render(models: &[ModelAlloc]) -> String {
+    let mut out = String::new();
+    writeln!(
+        out,
+        "host allocation profile: PiPAD, per epoch (preparing vs steady)"
+    )
+    .unwrap();
+    for m in models {
+        writeln!(out, "\n{}", m.model.name()).unwrap();
+        writeln!(
+            out,
+            "  {:<8} {:<10} {:>12} {:>14} {:>11} {:>12}",
+            "epoch", "phase", "heap_allocs", "heap_bytes", "pool_hits", "pool_misses"
+        )
+        .unwrap();
+        for e in &m.epochs {
+            writeln!(
+                out,
+                "  {:<8} {:<10} {:>12} {:>14} {:>11} {:>12}",
+                e.epoch,
+                if e.preparing { "preparing" } else { "steady" },
+                e.stats.heap_allocs,
+                e.stats.heap_bytes,
+                e.stats.pool_hits,
+                e.stats.pool_misses
+            )
+            .unwrap();
+        }
+        writeln!(
+            out,
+            "  hot-path heap allocs (pool misses): {:.0}/epoch steady vs {:.0}/epoch preparing ({:.1}% fewer)",
+            m.steady_hot_allocs(),
+            m.preparing_hot_allocs(),
+            m.reduction_pct()
+        )
+        .unwrap();
+        writeln!(
+            out,
+            "  total heap allocs (incl. simulator bookkeeping): {:.0}/epoch steady vs {:.0}/epoch preparing ({:.1}% fewer)",
+            m.steady_allocs(),
+            m.preparing_allocs(),
+            m.heap_reduction_pct()
+        )
+        .unwrap();
+    }
+    out
+}
+
+/// Render the JSON artifact (`results/alloc.json`).
+pub fn render_json(models: &[ModelAlloc]) -> String {
+    let mut out = String::from("{\n  \"models\": [\n");
+    for (i, m) in models.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        writeln!(out, "    {{\n      \"model\": \"{}\",", m.model.name()).unwrap();
+        writeln!(
+            out,
+            "      \"preparing_hot_allocs_per_epoch\": {:.1},",
+            m.preparing_hot_allocs()
+        )
+        .unwrap();
+        writeln!(
+            out,
+            "      \"steady_hot_allocs_per_epoch\": {:.1},",
+            m.steady_hot_allocs()
+        )
+        .unwrap();
+        writeln!(out, "      \"hot_reduction_pct\": {:.2},", m.reduction_pct()).unwrap();
+        writeln!(
+            out,
+            "      \"preparing_heap_allocs_per_epoch\": {:.1},",
+            m.preparing_allocs()
+        )
+        .unwrap();
+        writeln!(
+            out,
+            "      \"steady_heap_allocs_per_epoch\": {:.1},",
+            m.steady_allocs()
+        )
+        .unwrap();
+        writeln!(out, "      \"heap_reduction_pct\": {:.2},", m.heap_reduction_pct()).unwrap();
+        out.push_str("      \"epochs\": [\n");
+        for (j, e) in m.epochs.iter().enumerate() {
+            if j > 0 {
+                out.push_str(",\n");
+            }
+            write!(
+                out,
+                "        {{\"epoch\": {}, \"preparing\": {}, \"heap_allocs\": {}, \"heap_bytes\": {}, \"pool_hits\": {}, \"pool_misses\": {}}}",
+                e.epoch,
+                e.preparing,
+                e.stats.heap_allocs,
+                e.stats.heap_bytes,
+                e.stats.pool_hits,
+                e.stats.pool_misses
+            )
+            .unwrap();
+        }
+        out.push_str("\n      ]\n    }");
+    }
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn steady_epochs_hit_the_pool() {
+        let models = measure(RunScale::Tiny);
+        assert_eq!(models.len(), 3);
+        for m in &models {
+            assert!(m.epochs.iter().any(|e| e.preparing));
+            assert!(m.epochs.iter().any(|e| !e.preparing));
+            // Steady epochs run against a warm pool: hits dominate misses.
+            for e in m.epochs.iter().filter(|e| !e.preparing) {
+                assert!(
+                    e.stats.pool_hits > e.stats.pool_misses,
+                    "{}: epoch {} hits {} misses {}",
+                    m.model.name(),
+                    e.epoch,
+                    e.stats.pool_hits,
+                    e.stats.pool_misses
+                );
+            }
+        }
+        let json = render_json(&models);
+        assert!(json.contains("\"hot_reduction_pct\""));
+        assert!(render(&models).contains("steady"));
+    }
+}

@@ -18,6 +18,7 @@
 //!   host_parallel  serial-vs-pool wall-clock of the host numerics layer
 //!   trace    Chrome-trace timeline of one pipelined run (Perfetto-loadable)
 //!   chaos    deterministic fault injection + recovery demonstration
+//!   alloc    host allocation profile (heap + buffer-pool counters per epoch)
 //!   all      everything (one grid pass shared by fig10/table2)
 //! ```
 //!
@@ -25,9 +26,16 @@
 //! (default `results/`).
 
 use pipad_bench::{
-    ablation, breakdown, chaos, fig11, fig12, fig5, fig9, grid, host_parallel, table1, trace,
-    RunScale,
+    ablation, alloc, breakdown, chaos, fig11, fig12, fig5, fig9, grid, host_parallel, table1,
+    trace, RunScale,
 };
+use pipad_tensor::CountingAllocator;
+
+/// Count host heap traffic so `repro alloc` (and the per-epoch `alloc`
+/// columns of every report) can attribute allocator calls to preparing
+/// vs steady-state epochs.
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
 use std::fs;
 use std::path::PathBuf;
 use std::time::Instant;
@@ -59,7 +67,7 @@ fn parse_args() -> Args {
                 out_dir = PathBuf::from(argv.get(i).cloned().unwrap_or_default());
             }
             "--help" | "-h" => {
-                println!("usage: repro <table1|fig3|fig4|fig5|fig9|fig10|table2|grid|fig11|fig12|trace|chaos|all> [--scale tiny|laptop] [--out dir]");
+                println!("usage: repro <table1|fig3|fig4|fig5|fig9|fig10|table2|grid|fig11|fig12|trace|chaos|alloc|all> [--scale tiny|laptop] [--out dir]");
                 std::process::exit(0);
             }
             other => experiment = other.to_string(),
@@ -153,6 +161,13 @@ fn main() {
             emit(&args.out_dir, "chaos", &art.summary);
             let path = args.out_dir.join("chaos.json");
             fs::write(&path, &art.json).expect("write chaos.json");
+            eprintln!("[repro] wrote {}", path.display());
+        }
+        "alloc" => {
+            let models = alloc::measure(args.scale);
+            emit(&args.out_dir, "alloc", &alloc::render(&models));
+            let path = args.out_dir.join("alloc.json");
+            fs::write(&path, alloc::render_json(&models)).expect("write alloc.json");
             eprintln!("[repro] wrote {}", path.display());
         }
         "all" => {

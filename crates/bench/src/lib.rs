@@ -16,6 +16,7 @@
 //! | [`ablation`] | extension: hardware-sensitivity and per-mechanism ablations |
 //! | [`trace`] | extension: Chrome-trace timeline of one pipelined run (open in Perfetto) |
 //! | [`chaos`] | extension: deterministic fault injection + recovery demonstration |
+//! | [`alloc`] | extension: host allocation profile — heap/pool counters per preparing vs steady epoch |
 //!
 //! Run everything with the `repro` binary:
 //!
@@ -24,6 +25,7 @@
 //! ```
 
 pub mod ablation;
+pub mod alloc;
 pub mod breakdown;
 pub mod chaos;
 pub mod fig11;

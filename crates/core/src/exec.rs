@@ -118,7 +118,7 @@ impl<'r> PipadExecutor<'r> {
                     .filter(|_| opts.inter_frame_reuse)
                     .and_then(|r| r.gpu_cache.get(global));
                 let cpu_agg_host = if gpu_agg.is_none() && opts.inter_frame_reuse {
-                    reuse.as_ref().and_then(|r| r.cpu.get(global).cloned())
+                    reuse.as_ref().and_then(|r| r.cpu.get(global).map(Matrix::clone_in))
                 } else {
                     None
                 };
@@ -135,7 +135,9 @@ impl<'r> PipadExecutor<'r> {
             if !layer1_cached {
                 for (_, _, g, c, _) in &mut slots {
                     *g = None;
-                    *c = None;
+                    if let Some(m) = c.take() {
+                        m.recycle();
+                    }
                 }
             }
             let needs_adj = !layer1_cached || opts.needs_adjacency_when_cached;
@@ -212,7 +214,9 @@ impl<'r> PipadExecutor<'r> {
                 let (features_dev, cpu_agg) = if gpu_agg.is_some() {
                     (None, None)
                 } else if let Some(a) = cpu_agg_host {
-                    (None, Some(upload_matrix_checked(gpu, copy, &a, true, "cpu_agg_upload")?))
+                    let dev = upload_matrix_checked(gpu, copy, &a, true, "cpu_agg_upload")?;
+                    a.recycle();
+                    (None, Some(dev))
                 } else {
                     (Some(upload_matrix_checked(gpu, copy, feats, true, "feature_upload")?), None)
                 };
@@ -476,10 +480,10 @@ impl PipadExecutor<'_> {
             }
             for slot in part.slots {
                 if let Some(f) = slot.features {
-                    f.free(gpu);
+                    f.release(gpu);
                 }
                 if let Some(c) = slot.cpu_agg {
-                    c.free(gpu);
+                    c.release(gpu);
                 }
             }
         }

@@ -21,7 +21,7 @@ use pipad_autograd::{Tape, Var};
 use pipad_dyngraph::{DynamicGraph, FrameIter};
 use pipad_gpu_sim::{DeviceConfig, Event, Gpu, OomError, SimNanos, StreamId};
 use pipad_kernels::{upload_matrix, upload_sliced, DeviceMatrix};
-use pipad_models::{build_model, EpochReport, GnnExecutor, ModelKind, TrainingConfig};
+use pipad_models::{build_model, EpochReport, GnnExecutor, HostAllocStats, ModelKind, TrainingConfig};
 use pipad_sparse::SlicedCsr;
 use pipad_tensor::Matrix;
 use std::rc::Rc;
@@ -192,6 +192,7 @@ pub fn train_data_parallel(
             .max()
             .unwrap()
             .max(*host_cursors.iter().max().unwrap());
+        let alloc0 = HostAllocStats::capture();
         if epoch == preparing {
             steady_t0 = t0;
             halo_bytes_epoch = 0;
@@ -315,6 +316,7 @@ pub fn train_data_parallel(
             epoch,
             mean_loss: losses.iter().sum::<f32>() / losses.len().max(1) as f32,
             sim_time: t1 - t0,
+            alloc: HostAllocStats::capture().since(&alloc0),
         });
     }
 

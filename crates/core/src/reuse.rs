@@ -22,6 +22,9 @@ use std::rc::Rc;
 #[derive(Debug, Default)]
 pub struct CpuAggStore {
     store: HashMap<usize, Matrix>,
+    /// Incrementally maintained byte total; debug builds assert it equals
+    /// the recomputed sum after every mutation.
+    tracked_bytes: u64,
 }
 
 impl CpuAggStore {
@@ -35,9 +38,17 @@ impl CpuAggStore {
         self.store.get(&snapshot)
     }
 
-    /// Insert an entry.
+    /// Insert an entry. A buffer displaced by the write-once rule goes
+    /// back to the buffer pool.
     pub fn insert(&mut self, snapshot: usize, agg: Matrix) {
-        self.store.entry(snapshot).or_insert(agg);
+        match self.store.entry(snapshot) {
+            std::collections::hash_map::Entry::Occupied(_) => agg.recycle(),
+            std::collections::hash_map::Entry::Vacant(e) => {
+                self.tracked_bytes += agg.bytes();
+                e.insert(agg);
+            }
+        }
+        self.debug_check_bytes();
     }
 
     /// Whether the entry is present.
@@ -49,7 +60,12 @@ impl CpuAggStore {
     /// recovery purges every deposit a poisoned frame made so the poison
     /// cannot be re-served from cache on later frames.
     pub fn remove(&mut self, snapshot: usize) -> Option<Matrix> {
-        self.store.remove(&snapshot)
+        let removed = self.store.remove(&snapshot);
+        if let Some(m) = &removed {
+            self.tracked_bytes -= m.bytes();
+        }
+        self.debug_check_bytes();
+        removed
     }
 
     /// Number of elements.
@@ -62,9 +78,19 @@ impl CpuAggStore {
         self.store.is_empty()
     }
 
-    /// Size in bytes.
+    /// Size in bytes (O(1) — incrementally tracked).
     pub fn bytes(&self) -> u64 {
-        self.store.values().map(Matrix::bytes).sum()
+        self.tracked_bytes
+    }
+
+    /// Debug-build invariant: the tracked byte total must equal the sum of
+    /// the stored entry sizes after every mutation.
+    fn debug_check_bytes(&self) {
+        debug_assert_eq!(
+            self.tracked_bytes,
+            self.store.values().map(Matrix::bytes).sum::<u64>(),
+            "CpuAggStore byte accounting drifted"
+        );
     }
 }
 
@@ -146,6 +172,7 @@ impl GpuAggCache {
         let dm = DeviceMatrix::alloc(gpu, agg)?;
         self.used_bytes += bytes;
         self.entries.insert(snapshot, Rc::new(RefCell::new(dm)));
+        self.debug_check_bytes();
         Ok(true)
     }
 
@@ -158,8 +185,22 @@ impl GpuAggCache {
                 .expect("evicting a cache entry still referenced by a tape")
                 .into_inner();
             self.used_bytes -= dm.bytes();
-            dm.free(gpu);
+            dm.release(gpu);
         }
+        self.debug_check_bytes();
+    }
+
+    /// Debug-build invariant: `used()` must equal the sum of the resident
+    /// entry sizes after every `put`/`evict`/`retire_below`/`clear`.
+    fn debug_check_bytes(&self) {
+        debug_assert_eq!(
+            self.used_bytes,
+            self.entries
+                .values()
+                .map(|p| p.borrow().bytes())
+                .sum::<u64>(),
+            "GpuAggCache byte accounting drifted"
+        );
     }
 
     /// Evict everything below `min_snapshot` (entries that left the window).
@@ -263,6 +304,41 @@ mod tests {
         assert!(c.get(2).is_none());
         assert!(c.get(3).is_some());
         c.clear(&mut gpu);
+    }
+
+    #[test]
+    fn byte_accounting_tracks_every_mutation() {
+        // CPU store: bytes() is incrementally tracked and must match the
+        // recomputed sum through insert (including write-once rejections)
+        // and remove.
+        let mut s = CpuAggStore::new();
+        assert_eq!(s.bytes(), 0);
+        s.insert(0, Matrix::full(2, 2, 1.0));
+        s.insert(1, Matrix::full(4, 4, 2.0));
+        s.insert(1, Matrix::full(4, 4, 9.0)); // rejected duplicate
+        assert_eq!(s.bytes(), 16 + 64);
+        assert_eq!(s.bytes(), s.store.values().map(Matrix::bytes).sum());
+        s.remove(0);
+        assert_eq!(s.bytes(), 64);
+        s.remove(42); // absent key is a no-op
+        assert_eq!(s.bytes(), 64);
+        s.remove(1);
+        assert_eq!(s.bytes(), 0);
+
+        // GPU cache: used() must match the resident entries through put,
+        // budget-driven eviction, retire_below and clear.
+        let mut gpu = Gpu::new(DeviceConfig::v100());
+        let mut c = GpuAggCache::new(128);
+        c.put(&mut gpu, 0, Matrix::full(4, 4, 1.0)).unwrap();
+        c.put(&mut gpu, 1, Matrix::full(4, 4, 2.0)).unwrap();
+        c.put(&mut gpu, 2, Matrix::full(4, 4, 3.0)).unwrap(); // evicts 0
+        let resident: u64 = c.entries.values().map(|p| p.borrow().bytes()).sum();
+        assert_eq!(c.used(), resident);
+        c.retire_below(&mut gpu, 2);
+        assert_eq!(c.used(), 64);
+        c.clear(&mut gpu);
+        assert_eq!(c.used(), 0);
+        assert_eq!(gpu.mem().in_use(), 0);
     }
 
     #[test]

@@ -23,7 +23,7 @@ use crate::tuner::{DynamicTuner, FrameProfile, OfflineTable};
 use pipad_autograd::Tape;
 use pipad_dyngraph::{DynamicGraph, FrameIter};
 use pipad_gpu_sim::{ArgValue, DeviceFault, Gpu, Lane, OomError, SimNanos, TraceKind};
-use pipad_models::{build_model, EpochReport, ModelKind, TrainReport, TrainingConfig};
+use pipad_models::{build_model, EpochReport, HostAllocStats, ModelKind, TrainReport, TrainingConfig};
 use pipad_tensor::Matrix;
 
 /// PiPAD-specific knobs (the defaults reproduce the paper's setup).
@@ -93,6 +93,7 @@ pub fn train_pipad(
     let model = build_model(gpu, model_kind, graph.feature_dim(), hidden, cfg.seed)?;
     let mut host_cursor = SimNanos::ZERO;
     let run_t0 = gpu.synchronize();
+    let pool_run0 = pipad_tensor::pool_stats();
 
     // ---- one-off preparation (first preparing epoch) ----------------------
     let analyzer = GraphAnalyzer::run(gpu, graph, &mut host_cursor);
@@ -116,6 +117,7 @@ pub fn train_pipad(
 
     for epoch in 0..cfg.epochs {
         let t0 = gpu.synchronize().max(host_cursor);
+        let alloc0 = HostAllocStats::capture();
         let is_preparing = epoch < preparing;
         if epoch == preparing {
             steady_snap = Some(gpu.profiler().snapshot());
@@ -259,7 +261,9 @@ pub fn train_pipad(
                 // on later frames.
                 skipped_steps += 1;
                 for s in frame.start..frame.start + frame.snapshots().len() {
-                    reuse.cpu.remove(s);
+                    if let Some(m) = reuse.cpu.remove(s) {
+                        m.recycle();
+                    }
                 }
                 let t = gpu.now().max(host_cursor);
                 gpu.trace_mut().instant(
@@ -389,11 +393,21 @@ pub fn train_pipad(
             epoch,
             mean_loss,
             sim_time: t1 - t0,
+            alloc: HostAllocStats::capture().since(&alloc0),
         });
     }
 
     reuse.gpu_cache.clear(gpu);
     let run_t1 = gpu.synchronize().max(host_cursor);
+    // Buffer-pool counters for this run. Deterministic (all pooled traffic
+    // is on this thread, independent of PIPAD_THREADS) and surfaced only in
+    // the text summary — the pinned Chrome JSON never carries them.
+    let pool = pipad_tensor::pool_stats().since(&pool_run0);
+    let tr = gpu.trace_mut();
+    tr.set_meta("pool_hits", pool.hits);
+    tr.set_meta("pool_misses", pool.misses);
+    tr.set_meta("pool_recycled_bytes", pool.recycled_bytes);
+    tr.set_meta("pool_reused_bytes", pool.reused_bytes);
     let steady_snap = steady_snap.unwrap_or_else(|| gpu.profiler().snapshot());
     let steady = gpu.profiler().window(steady_snap);
     let steady_epochs = (cfg.epochs - preparing).max(1);

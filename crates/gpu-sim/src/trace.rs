@@ -166,6 +166,11 @@ impl TraceEvent {
 pub struct Tracer {
     events: Vec<TraceEvent>,
     counter_peaks: BTreeMap<&'static str, u64>,
+    /// Deterministic run-level metadata (e.g. buffer-pool hit counters).
+    /// Rendered only by [`trace_text_summary`] — never by
+    /// [`export_chrome_trace`], whose JSON is pinned byte-for-byte by
+    /// golden tests and must not vary with host-side cache warmth.
+    meta: BTreeMap<&'static str, u64>,
 }
 
 impl Tracer {
@@ -265,6 +270,16 @@ impl Tracer {
     /// High-water mark of a counter track (0 if never sampled).
     pub fn counter_peak(&self, name: &str) -> u64 {
         self.counter_peaks.get(name).copied().unwrap_or(0)
+    }
+
+    /// Set a run-level metadata counter (timestamp-free; text summary only).
+    pub fn set_meta(&mut self, name: &'static str, value: u64) {
+        self.meta.insert(name, value);
+    }
+
+    /// Run-level metadata counters in deterministic (sorted) order.
+    pub fn meta(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.meta.iter().map(|(&k, &v)| (k, v))
     }
 
     /// Events in the canonical export order: nondecreasing timestamp, then
@@ -425,6 +440,9 @@ pub fn trace_text_summary(tracer: &Tracer) -> String {
     let hw = tracer.counter_peak("device_mem_in_use");
     if hw > 0 {
         let _ = writeln!(out, "device memory high-water: {hw} B");
+    }
+    for (name, value) in tracer.meta() {
+        let _ = writeln!(out, "meta {name}: {value}");
     }
     out
 }

@@ -69,7 +69,8 @@ pub fn edge_scores(
     // Each CSR row owns the disjoint score segment
     // `offsets[r]..offsets[r+1]`, so rows band across the pool with the
     // exact serial per-edge order.
-    let mut out = vec![0.0f32; csr.nnz()];
+    let mut out = pipad_tensor::take_buf(csr.nnz());
+    out.resize(csr.nnz(), 0.0);
     let offsets = csr.row_offsets();
     let (lh, rh) = (left.host(), right.host());
     let shared = pool::DisjointMut::new(&mut out);
@@ -111,7 +112,8 @@ pub fn edge_softmax(
 
     // Segment softmax is independent per destination row; rows band
     // across the pool writing disjoint `offsets[r]..offsets[r+1]` spans.
-    let mut out = vec![0.0f32; scores.len()];
+    let mut out = pipad_tensor::take_buf(scores.len());
+    out.resize(scores.len(), 0.0);
     let offsets = csr.row_offsets();
     let shared = pool::DisjointMut::new(&mut out);
     pool::parallel_for(
@@ -170,7 +172,7 @@ pub fn spmm_weighted(
     // `offsets[r]` at the start of each row, so bands replay the exact
     // serial accumulation order per output row.
     let n_cols = x.cols();
-    let mut out = Matrix::zeros(csr.n_rows(), n_cols);
+    let mut out = Matrix::zeros_in(csr.n_rows(), n_cols);
     let offsets = csr.row_offsets();
     let xh = x.host();
     let shared = pool::DisjointMut::new(out.as_mut_slice());
@@ -248,7 +250,7 @@ pub fn spmm_sliced_parallel_values(
         slice_starts.push(slice_starts.last().unwrap() + sz as usize);
     }
     let width = coalesced.cols();
-    let mut out = Matrix::zeros(sliced.n_rows(), width);
+    let mut out = Matrix::zeros_in(sliced.n_rows(), width);
     let n_bands = if sliced.nnz() * fprime as usize >= HOST_PAR_THRESHOLD {
         pool::bands(sliced.n_slices(), 1)
     } else {

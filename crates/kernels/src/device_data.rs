@@ -56,15 +56,22 @@ impl DeviceMatrix {
     }
 
     /// Replace contents in place (same shape — used by optimizer updates).
+    /// The displaced host buffer goes back to the buffer pool.
     pub fn store(&mut self, m: Matrix) {
         assert_eq!(self.host.shape(), m.shape(), "store shape mismatch");
-        self.host = m;
+        std::mem::replace(&mut self.host, m).recycle();
     }
 
     /// Release the device allocation, returning the host values.
     pub fn free(self, gpu: &mut Gpu) -> Matrix {
         gpu.free(self.buf);
         self.host
+    }
+
+    /// Release the device allocation *and* recycle the host buffer into
+    /// the buffer pool — the end-of-life path for per-frame temporaries.
+    pub fn release(self, gpu: &mut Gpu) {
+        self.free(gpu).recycle();
     }
 }
 

@@ -124,7 +124,7 @@ pub fn add_bias(
         streaming_cost("add_bias", category, n + bias.cols() as u64, n, 1),
     );
     let (rows, cols) = (a.rows(), a.cols());
-    let mut out = Matrix::zeros(rows, cols);
+    let mut out = Matrix::zeros_in(rows, cols);
     let src = a.host().as_slice();
     let b_row = bias.host().row(0);
     let shared = pool::DisjointMut::new(out.as_mut_slice());
@@ -236,7 +236,7 @@ pub fn row_scale(
         streaming_cost("row_scale", category, n + x.rows() as u64, n, 1),
     );
     let (rows, cols) = (x.rows(), x.cols());
-    let mut out = Matrix::zeros(rows, cols);
+    let mut out = Matrix::zeros_in(rows, cols);
     let src = x.host().as_slice();
     let shared = pool::DisjointMut::new(out.as_mut_slice());
     pool::parallel_for(rows, rows_per_band(cols), |row_range| {
@@ -318,7 +318,7 @@ pub fn row_scale_multi(
     // `Rc` is not `Sync`; borrow the underlying slices before fanning out.
     let members: Vec<&[f32]> = factors.iter().map(|f| f.as_slice()).collect();
     let (rows, cols) = (x.rows(), x.cols());
-    let mut out = Matrix::zeros(rows, cols);
+    let mut out = Matrix::zeros_in(rows, cols);
     let src = x.host().as_slice();
     let shared = pool::DisjointMut::new(out.as_mut_slice());
     pool::parallel_for(rows, rows_per_band(cols), |row_range| {
@@ -420,7 +420,9 @@ pub fn mse_loss(gpu: &mut Gpu, stream: StreamId, pred: &DeviceMatrix, target: &M
         streaming_cost("mse_loss", KernelCategory::Loss, 2 * n, 1, 3),
     );
     let diff = pred.host().zip(target, |a, b| a - b);
-    diff.norm_sq() / n.max(1) as f32
+    let loss = diff.norm_sq() / n.max(1) as f32;
+    diff.recycle();
+    loss
 }
 
 /// Gradient of [`mse_loss`] w.r.t. the prediction: `2 (pred − target) / n`.

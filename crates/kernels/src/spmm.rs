@@ -259,7 +259,7 @@ pub fn spmm_sliced_parallel(
     gpu.launch(stream, cost);
 
     // Numerics: out[row] += Σ value × coalesced[col] per slice entry.
-    let mut out = Matrix::zeros(sliced.n_rows(), coalesced.cols());
+    let mut out = Matrix::zeros_in(sliced.n_rows(), coalesced.cols());
     spmm_sliced_numeric(sliced, coalesced.host(), &mut out);
     DeviceMatrix::alloc(gpu, out)
 }

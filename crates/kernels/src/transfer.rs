@@ -53,7 +53,7 @@ pub fn upload_matrix(
     m: &Matrix,
     pinned: bool,
 ) -> Result<DeviceMatrix, OomError> {
-    let dm = DeviceMatrix::alloc(gpu, m.clone())?;
+    let dm = DeviceMatrix::alloc(gpu, m.clone_in())?;
     gpu.h2d(stream, m.bytes(), pinned);
     Ok(dm)
 }
@@ -123,7 +123,7 @@ pub fn upload_matrix_checked(
     pinned: bool,
     label: &'static str,
 ) -> Result<DeviceMatrix, DeviceFault> {
-    let dm = DeviceMatrix::alloc_labeled(gpu, m.clone(), label)?;
+    let dm = DeviceMatrix::alloc_labeled(gpu, m.clone_in(), label)?;
     if let Err(e) = checked_copy(gpu, stream, m.bytes(), pinned, TransferDir::H2D) {
         dm.free(gpu);
         return Err(DeviceFault::Transfer(e));
@@ -166,7 +166,7 @@ pub fn upload_sliced_checked(
 /// Download a device matrix to the host (frees nothing).
 pub fn download_matrix(gpu: &mut Gpu, stream: StreamId, m: &DeviceMatrix, pinned: bool) -> Matrix {
     gpu.d2h(stream, m.bytes(), pinned);
-    m.host().clone()
+    m.host().clone_in()
 }
 
 #[cfg(test)]

@@ -46,5 +46,6 @@ pub use mpnn_lstm::MpnnLstm;
 pub use params::{Binder, Linear, Param, ParamBinding};
 pub use tgcn::TGcn;
 pub use training::{
-    build_model, DgnnModel, EpochReport, ForwardOutput, ModelKind, TrainReport, TrainingConfig,
+    build_model, DgnnModel, EpochReport, ForwardOutput, HostAllocStats, ModelKind, TrainReport,
+    TrainingConfig,
 };

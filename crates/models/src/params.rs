@@ -113,6 +113,7 @@ impl Binder {
         for b in &self.bindings {
             if let Some(g) = tape.grad(b.var) {
                 b.param.sgd_step(gpu, stream, &g, lr);
+                g.recycle();
             }
         }
     }

@@ -131,6 +131,48 @@ impl Default for TrainingConfig {
     }
 }
 
+/// Host heap and buffer-pool counters measured over one epoch. Heap
+/// figures stay zero unless the counting allocator is installed (the
+/// `repro` binary and the allocation-budget test install it); pool
+/// figures stay zero with `PIPAD_NO_POOL=1`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HostAllocStats {
+    /// Heap allocator calls.
+    pub heap_allocs: u64,
+    /// Heap bytes requested.
+    pub heap_bytes: u64,
+    /// Buffer-pool takes served from a freelist.
+    pub pool_hits: u64,
+    /// Buffer-pool takes that fell through to the heap.
+    pub pool_misses: u64,
+}
+
+impl HostAllocStats {
+    /// Capture the current cumulative heap and pool counters; subtract
+    /// two captures with [`HostAllocStats::since`] to get a per-epoch
+    /// delta.
+    pub fn capture() -> HostAllocStats {
+        let (heap_allocs, heap_bytes) = pipad_tensor::heap_counters();
+        let pool = pipad_tensor::pool_stats();
+        HostAllocStats {
+            heap_allocs,
+            heap_bytes,
+            pool_hits: pool.hits,
+            pool_misses: pool.misses,
+        }
+    }
+
+    /// Counter-wise difference `self - earlier` (saturating).
+    pub fn since(&self, earlier: &HostAllocStats) -> HostAllocStats {
+        HostAllocStats {
+            heap_allocs: self.heap_allocs.saturating_sub(earlier.heap_allocs),
+            heap_bytes: self.heap_bytes.saturating_sub(earlier.heap_bytes),
+            pool_hits: self.pool_hits.saturating_sub(earlier.pool_hits),
+            pool_misses: self.pool_misses.saturating_sub(earlier.pool_misses),
+        }
+    }
+}
+
 /// Per-epoch record.
 #[derive(Clone, Debug)]
 pub struct EpochReport {
@@ -140,6 +182,8 @@ pub struct EpochReport {
     pub mean_loss: f32,
     /// Simulated wall time of this epoch.
     pub sim_time: SimNanos,
+    /// Host heap/pool activity during this epoch.
+    pub alloc: HostAllocStats,
 }
 
 /// Full training-run record.

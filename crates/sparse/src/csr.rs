@@ -257,7 +257,7 @@ impl Csr {
     pub fn spmm_dense(&self, dense: &Matrix) -> Matrix {
         assert_eq!(self.n_cols, dense.rows(), "spmm shape mismatch");
         let n = dense.cols();
-        let mut out = Matrix::zeros(self.n_rows, n);
+        let mut out = Matrix::zeros_in(self.n_rows, n);
         // Bands own disjoint output rows; each row's neighbor accumulation
         // order matches the serial loop exactly, so the result is
         // bit-identical at every thread count.

@@ -1,0 +1,264 @@
+//! Host buffer pool: size-class freelists of `Vec<f32>` so steady-state
+//! training epochs recycle their scratch instead of hitting the heap.
+//!
+//! ## Design
+//!
+//! The pool is **thread-local**. All pooled traffic in this workspace
+//! happens on the orchestration thread — the `pipad-pool` band callbacks
+//! write into pre-allocated disjoint slices and never allocate — so a
+//! thread-local pool gives the same hit/miss counters at every
+//! `PIPAD_THREADS` setting and under concurrently running tests, with no
+//! lock on the hot path. (A buffer recycled on thread A and taken on
+//! thread B would require a global pool; no such flow exists here.)
+//!
+//! ## Size classes
+//!
+//! Requests are rounded up to the next power of two. A miss allocates
+//! `Vec::with_capacity(n.next_power_of_two())`, so the buffer later
+//! recycles into exactly the class it was taken from; recycling keys on
+//! `floor(log2(capacity))`, which guarantees every buffer stored in class
+//! `k` has capacity ≥ `2^k` ≥ any request mapped to `k`. Freelists are
+//! capped per class to bound worst-case retention.
+//!
+//! ## Determinism
+//!
+//! `take_buf` returns an *empty* vector (length 0); every constructor
+//! that uses it fully initializes all `n` elements before exposing them
+//! (`resize(n, 0.0)`, `extend_from_slice`, push-loops, or
+//! `MaybeUninit` writes covering every slot). Values therefore never
+//! depend on what a recycled buffer previously held, and outputs are
+//! bit-identical with the pool on or off (`PIPAD_NO_POOL=1`).
+
+use std::cell::{Cell, RefCell};
+use std::collections::BTreeMap;
+use std::sync::OnceLock;
+
+/// Upper bound on retained buffers per size class. Generous on purpose:
+/// the tape releases a whole frame's live set at once, and the next frame
+/// wants all of it back, so the cap must exceed the per-frame working set
+/// (retention never exceeds what was actually live at peak; the cap is a
+/// leak backstop, not a sizing knob).
+const MAX_PER_CLASS: usize = 4096;
+
+/// Cumulative counters for the calling thread's pool.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct PoolStats {
+    /// `take_buf` calls served from a freelist.
+    pub hits: u64,
+    /// `take_buf` calls that fell through to the heap.
+    pub misses: u64,
+    /// Buffers accepted back by `recycle_buf`.
+    pub recycled: u64,
+    /// Bytes (requested sizes) served from freelists.
+    pub reused_bytes: u64,
+    /// Bytes (capacities) accepted back by `recycle_buf`.
+    pub recycled_bytes: u64,
+}
+
+impl PoolStats {
+    /// Counter-wise difference `self - earlier` (saturating).
+    pub fn since(&self, earlier: &PoolStats) -> PoolStats {
+        PoolStats {
+            hits: self.hits.saturating_sub(earlier.hits),
+            misses: self.misses.saturating_sub(earlier.misses),
+            recycled: self.recycled.saturating_sub(earlier.recycled),
+            reused_bytes: self.reused_bytes.saturating_sub(earlier.reused_bytes),
+            recycled_bytes: self
+                .recycled_bytes
+                .saturating_sub(earlier.recycled_bytes),
+        }
+    }
+}
+
+#[derive(Default)]
+struct BufferPool {
+    classes: BTreeMap<u32, Vec<Vec<f32>>>,
+    stats: PoolStats,
+}
+
+thread_local! {
+    static POOL: RefCell<BufferPool> = RefCell::new(BufferPool::default());
+    static ENABLED_OVERRIDE: Cell<Option<bool>> = const { Cell::new(None) };
+}
+
+/// Class that can serve a request for `n` elements: `ceil(log2(n))`.
+fn class_for_request(n: usize) -> u32 {
+    n.next_power_of_two().trailing_zeros()
+}
+
+/// Class a buffer of `capacity` elements belongs in: `floor(log2(capacity))`.
+fn class_for_capacity(capacity: usize) -> u32 {
+    usize::BITS - 1 - capacity.leading_zeros()
+}
+
+/// Whether the pool is active for the calling thread. Defaults to on;
+/// `PIPAD_NO_POOL=1` in the environment disables it process-wide, and
+/// [`with_pool_enabled`] overrides either setting for a scope.
+pub fn pool_enabled() -> bool {
+    if let Some(on) = ENABLED_OVERRIDE.with(|c| c.get()) {
+        return on;
+    }
+    static ENV: OnceLock<bool> = OnceLock::new();
+    *ENV.get_or_init(|| {
+        !matches!(
+            std::env::var("PIPAD_NO_POOL").ok().as_deref(),
+            Some("1") | Some("true")
+        )
+    })
+}
+
+/// Run `f` with the pool forced on or off for the calling thread,
+/// restoring the previous setting afterwards (including on panic).
+pub fn with_pool_enabled<R>(on: bool, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<bool>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            ENABLED_OVERRIDE.with(|c| c.set(self.0));
+        }
+    }
+    let _restore = ENABLED_OVERRIDE.with(|c| {
+        let prev = c.get();
+        c.set(Some(on));
+        Restore(prev)
+    });
+    f()
+}
+
+/// Take a buffer with `len() == 0` and `capacity() >= n` — from the
+/// calling thread's pool when possible, else freshly allocated. Callers
+/// must fully initialize all `n` elements before exposing the contents.
+pub fn take_buf(n: usize) -> Vec<f32> {
+    if n == 0 {
+        return Vec::new();
+    }
+    if !pool_enabled() {
+        return Vec::with_capacity(n);
+    }
+    POOL.with(|p| {
+        let mut p = p.borrow_mut();
+        let class = class_for_request(n);
+        if let Some(buf) = p.classes.get_mut(&class).and_then(Vec::pop) {
+            debug_assert!(buf.capacity() >= n && buf.is_empty());
+            p.stats.hits += 1;
+            p.stats.reused_bytes += 4 * n as u64;
+            buf
+        } else {
+            p.stats.misses += 1;
+            Vec::with_capacity(n.next_power_of_two())
+        }
+    })
+}
+
+/// Return a buffer to the calling thread's pool. The contents are
+/// discarded (`clear`); over-full classes drop the buffer instead.
+pub fn recycle_buf(mut buf: Vec<f32>) {
+    let capacity = buf.capacity();
+    if capacity == 0 || !pool_enabled() {
+        return;
+    }
+    POOL.with(|p| {
+        let mut p = p.borrow_mut();
+        let class = class_for_capacity(capacity);
+        let list = p.classes.entry(class).or_default();
+        if list.len() < MAX_PER_CLASS {
+            buf.clear();
+            list.push(buf);
+            p.stats.recycled += 1;
+            p.stats.recycled_bytes += 4 * capacity as u64;
+        }
+    });
+}
+
+/// Snapshot the calling thread's cumulative pool counters.
+pub fn pool_stats() -> PoolStats {
+    POOL.with(|p| p.borrow().stats)
+}
+
+/// Drop every retained buffer and zero the counters for the calling
+/// thread — gives tests a cold, deterministic starting state.
+pub fn reset_pool() {
+    POOL.with(|p| {
+        let mut p = p.borrow_mut();
+        p.classes.clear();
+        p.stats = PoolStats::default();
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_then_hit_round_trip() {
+        with_pool_enabled(true, || {
+            reset_pool();
+            let b = take_buf(100);
+            assert!(b.capacity() >= 100);
+            recycle_buf(b);
+            let b2 = take_buf(100);
+            assert!(b2.is_empty() && b2.capacity() >= 100);
+            let s = pool_stats();
+            assert_eq!((s.hits, s.misses, s.recycled), (1, 1, 1));
+            assert_eq!(s.reused_bytes, 400);
+            // miss allocated next_power_of_two(100) = 128 elements
+            assert_eq!(s.recycled_bytes, 4 * 128);
+            reset_pool();
+        });
+    }
+
+    #[test]
+    fn smaller_request_reuses_larger_class_member() {
+        with_pool_enabled(true, || {
+            reset_pool();
+            // 100 rounds to class 7 (128); a 70-element request also
+            // rounds to class 7 and must reuse the same buffer.
+            recycle_buf(take_buf(100));
+            let b = take_buf(70);
+            assert!(b.capacity() >= 70);
+            assert_eq!(pool_stats().hits, 1);
+            reset_pool();
+        });
+    }
+
+    #[test]
+    fn disabled_pool_neither_counts_nor_retains() {
+        with_pool_enabled(false, || {
+            reset_pool();
+            let b = take_buf(64);
+            recycle_buf(b);
+            assert_eq!(pool_stats(), PoolStats::default());
+        });
+    }
+
+    #[test]
+    fn zero_sized_requests_bypass_the_pool() {
+        with_pool_enabled(true, || {
+            reset_pool();
+            let b = take_buf(0);
+            assert_eq!(b.capacity(), 0);
+            recycle_buf(b);
+            assert_eq!(pool_stats(), PoolStats::default());
+        });
+    }
+
+    #[test]
+    fn override_nests_and_restores() {
+        with_pool_enabled(false, || {
+            assert!(!pool_enabled());
+            with_pool_enabled(true, || assert!(pool_enabled()));
+            assert!(!pool_enabled());
+        });
+    }
+
+    #[test]
+    fn class_caps_bound_retention() {
+        with_pool_enabled(true, || {
+            reset_pool();
+            for _ in 0..(MAX_PER_CLASS + 8) {
+                recycle_buf(Vec::with_capacity(16));
+            }
+            assert_eq!(pool_stats().recycled as usize, MAX_PER_CLASS);
+            reset_pool();
+        });
+    }
+}

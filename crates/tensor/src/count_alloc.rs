@@ -1,0 +1,52 @@
+//! Counting global allocator: a pass-through wrapper around the system
+//! allocator that tallies every allocation into process-global atomics.
+//!
+//! Install it with `#[global_allocator]` **only** in binaries or test
+//! targets that measure allocation behaviour (the `repro` bench binary
+//! and `tests/alloc_budget.rs`); everywhere else [`heap_counters`]
+//! simply reports zeros, so instrumented code paths stay harmless.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+static ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
+
+/// Allocator wrapper that counts calls and bytes before delegating to
+/// [`System`].
+pub struct CountingAllocator;
+
+// SAFETY: pure pass-through to `System`; the counters are relaxed
+// atomics with no effect on allocation behaviour.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+/// Cumulative `(calls, bytes)` counted since process start. Both are 0
+/// unless [`CountingAllocator`] is installed as the global allocator.
+pub fn heap_counters() -> (u64, u64) {
+    (
+        ALLOC_CALLS.load(Ordering::Relaxed),
+        ALLOC_BYTES.load(Ordering::Relaxed),
+    )
+}

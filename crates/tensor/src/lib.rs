@@ -11,10 +11,16 @@
 //! persistent `pipad-pool` workers for large shapes; results are
 //! bit-identical at every thread count (see `PIPAD_THREADS`).
 
+mod bufpool;
+mod count_alloc;
 mod init;
 mod matrix;
 mod ops;
 
+pub use bufpool::{
+    pool_enabled, pool_stats, recycle_buf, reset_pool, take_buf, with_pool_enabled, PoolStats,
+};
+pub use count_alloc::{heap_counters, CountingAllocator};
 pub use init::{glorot_uniform, seeded_rng, uniform};
 pub use matrix::Matrix;
 pub use ops::{gemm, gemm_nt, gemm_tn, PAR_THRESHOLD};

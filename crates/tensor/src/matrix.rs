@@ -1,5 +1,6 @@
 //! Row-major dense f32 matrix.
 
+use crate::bufpool;
 use pipad_pool as pool;
 use std::fmt;
 use std::ops::{Index, IndexMut};
@@ -61,6 +62,47 @@ impl Matrix {
     /// Identity matrix.
     pub fn eye(n: usize) -> Self {
         Matrix::from_fn(n, n, |r, c| if r == c { 1.0 } else { 0.0 })
+    }
+
+    /// All-zero matrix backed by a pooled buffer. The buffer is fully
+    /// zeroed (`resize`), so values never depend on prior contents and
+    /// the result is bit-identical to [`Matrix::zeros`].
+    pub fn zeros_in(rows: usize, cols: usize) -> Self {
+        let n = rows * cols;
+        let mut data = bufpool::take_buf(n);
+        data.resize(n, 0.0);
+        Matrix { rows, cols, data }
+    }
+
+    /// [`Matrix::from_fn`] into a pooled buffer; every element is
+    /// written by the push loop before the matrix is exposed.
+    pub fn from_fn_in(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f32) -> Self {
+        let mut data = bufpool::take_buf(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Matrix { rows, cols, data }
+    }
+
+    /// Copy `src` (row-major, `rows * cols` elements) into a pooled
+    /// buffer.
+    pub fn from_slice_in(rows: usize, cols: usize, src: &[f32]) -> Self {
+        assert_eq!(src.len(), rows * cols, "shape/buffer mismatch");
+        let mut data = bufpool::take_buf(src.len());
+        data.extend_from_slice(src);
+        Matrix { rows, cols, data }
+    }
+
+    /// Clone into a pooled buffer (the pooled counterpart of `Clone`).
+    pub fn clone_in(&self) -> Matrix {
+        Matrix::from_slice_in(self.rows, self.cols, &self.data)
+    }
+
+    /// Consume the matrix and return its backing buffer to the pool.
+    pub fn recycle(self) {
+        bufpool::recycle_buf(self.data);
     }
 
     #[inline]
@@ -128,22 +170,35 @@ impl Matrix {
         self.data.chunks(rows_per_chunk * self.cols)
     }
 
-    /// Transposed copy.
+    /// Transposed copy. Written scatter-style straight into the spare
+    /// capacity of a pooled buffer — no intermediate zero fill.
     pub fn transpose(&self) -> Matrix {
-        let mut out = Matrix::zeros(self.cols, self.rows);
-        for r in 0..self.rows {
-            for c in 0..self.cols {
-                out[(c, r)] = self[(r, c)];
+        let (rows, cols) = (self.rows, self.cols);
+        let n = rows * cols;
+        let mut data = bufpool::take_buf(n);
+        let spare = &mut data.spare_capacity_mut()[..n];
+        for r in 0..rows {
+            let row = &self.data[r * cols..(r + 1) * cols];
+            for (c, &v) in row.iter().enumerate() {
+                spare[c * rows + r] = std::mem::MaybeUninit::new(v);
             }
         }
-        out
+        // SAFETY: the slots `c * rows + r` for r in 0..rows, c in 0..cols
+        // cover 0..n exactly once, so every element is initialized.
+        unsafe { data.set_len(n) };
+        Matrix {
+            rows: cols,
+            cols: rows,
+            data,
+        }
     }
 
     /// Elementwise map into a new matrix. Banded across the pool for
     /// large buffers; each element is computed independently, so the
     /// result is bit-identical at every thread count.
     pub fn map(&self, f: impl Fn(f32) -> f32 + Sync) -> Matrix {
-        let mut data = vec![0.0; self.data.len()];
+        let mut data = bufpool::take_buf(self.data.len());
+        data.resize(self.data.len(), 0.0);
         let shared = pool::DisjointMut::new(&mut data);
         let src = &self.data;
         pool::parallel_for(src.len(), ELEMS_PER_BAND, |range| {
@@ -163,7 +218,8 @@ impl Matrix {
     /// Elementwise combine with another same-shape matrix.
     pub fn zip(&self, other: &Matrix, f: impl Fn(f32, f32) -> f32 + Sync) -> Matrix {
         assert_eq!(self.shape(), other.shape(), "shape mismatch in zip");
-        let mut data = vec![0.0; self.data.len()];
+        let mut data = bufpool::take_buf(self.data.len());
+        data.resize(self.data.len(), 0.0);
         let shared = pool::DisjointMut::new(&mut data);
         let (a_data, b_data) = (&self.data, &other.data);
         pool::parallel_for(a_data.len(), ELEMS_PER_BAND, |range| {
@@ -219,7 +275,7 @@ impl Matrix {
             "row mismatch in concat_cols"
         );
         let cols: usize = parts.iter().map(|p| p.cols).sum();
-        let mut out = Matrix::zeros(rows, cols);
+        let mut out = Matrix::zeros_in(rows, cols);
         let shared = pool::DisjointMut::new(&mut out.data);
         pool::parallel_for(rows, rows_per_band(cols), |row_range| {
             for r in row_range {
@@ -244,28 +300,30 @@ impl Matrix {
             "column mismatch in concat_rows"
         );
         let rows: usize = parts.iter().map(|p| p.rows).sum();
-        let mut data = Vec::with_capacity(rows * cols);
+        let mut data = bufpool::take_buf(rows * cols);
         for p in parts {
             data.extend_from_slice(&p.data);
         }
         Matrix { rows, cols, data }
     }
 
-    /// Extract the row range `[from, to)` into a new matrix.
+    /// Extract the row range `[from, to)` into a new matrix (pooled,
+    /// single `extend_from_slice` — no zero fill, no fresh allocation in
+    /// the steady state).
     pub fn slice_rows(&self, from: usize, to: usize) -> Matrix {
         assert!(from <= to && to <= self.rows, "row slice out of range");
-        Matrix {
-            rows: to - from,
-            cols: self.cols,
-            data: self.data[from * self.cols..to * self.cols].to_vec(),
-        }
+        Matrix::from_slice_in(
+            to - from,
+            self.cols,
+            &self.data[from * self.cols..to * self.cols],
+        )
     }
 
     /// Extract the column range `[from, to)` into a new matrix.
     pub fn slice_cols(&self, from: usize, to: usize) -> Matrix {
         assert!(from <= to && to <= self.cols, "column slice out of range");
         let width = to - from;
-        let mut out = Matrix::zeros(self.rows, width);
+        let mut out = Matrix::zeros_in(self.rows, width);
         let shared = pool::DisjointMut::new(&mut out.data);
         let src = &self.data;
         let cols = self.cols;
@@ -492,5 +550,52 @@ mod tests {
         let a = Matrix::zeros(2, 2);
         let b = Matrix::zeros(2, 3);
         let _ = Matrix::concat_rows(&[&a, &b]);
+    }
+
+    #[test]
+    fn pooled_constructors_match_plain_ones() {
+        bufpool::with_pool_enabled(true, || {
+            // Seed the pool with a dirty buffer so recycled contents
+            // would show through any incomplete initialization.
+            let mut dirty = Matrix::full(4, 4, f32::NAN);
+            dirty.as_mut_slice()[0] = 123.0;
+            dirty.recycle();
+            assert_eq!(Matrix::zeros_in(3, 4), Matrix::zeros(3, 4));
+            let f = |r: usize, c: usize| (r * 7 + c) as f32;
+            Matrix::from_fn(3, 5, f).recycle();
+            assert_eq!(Matrix::from_fn_in(3, 5, f), Matrix::from_fn(3, 5, f));
+            let m = Matrix::from_fn(2, 6, f);
+            assert_eq!(m.clone_in(), m);
+            assert_eq!(
+                Matrix::from_slice_in(2, 6, m.as_slice()).as_slice(),
+                m.as_slice()
+            );
+        });
+    }
+
+    #[test]
+    fn transpose_and_slices_are_exact_on_recycled_buffers() {
+        bufpool::with_pool_enabled(true, || {
+            Matrix::full(6, 6, f32::NAN).recycle();
+            let m = Matrix::from_fn(4, 6, |r, c| (r * 100 + c) as f32);
+            let t = m.transpose();
+            assert_eq!(t.shape(), (6, 4));
+            assert_eq!(t.transpose(), m);
+            Matrix::full(4, 4, f32::NAN).recycle();
+            assert_eq!(m.slice_rows(1, 3).row(0), m.row(1));
+            assert_eq!(m.slice_rows(0, 4), m);
+        });
+    }
+
+    #[test]
+    fn pool_off_produces_identical_values() {
+        let m = Matrix::from_fn(5, 7, |r, c| (r * 13 + c) as f32 * 0.37);
+        let on = bufpool::with_pool_enabled(true, || {
+            (m.transpose(), m.slice_rows(1, 4), m.map(|x| x * 2.0))
+        });
+        let off = bufpool::with_pool_enabled(false, || {
+            (m.transpose(), m.slice_rows(1, 4), m.map(|x| x * 2.0))
+        });
+        assert_eq!(on, off);
     }
 }

@@ -29,7 +29,7 @@ pub fn gemm(a: &Matrix, b: &Matrix) -> Matrix {
     );
     let (m, k) = a.shape();
     let n = b.cols();
-    let mut out = Matrix::zeros(m, n);
+    let mut out = Matrix::zeros_in(m, n);
     let a_data = a.as_slice();
     let b_data = b.as_slice();
     let shared = pool::DisjointMut::new(out.as_mut_slice());
@@ -74,7 +74,7 @@ pub fn gemm_tn(a: &Matrix, b: &Matrix) -> Matrix {
     );
     let (k, m) = a.shape();
     let n = b.cols();
-    let mut out = Matrix::zeros(m, n);
+    let mut out = Matrix::zeros_in(m, n);
     let a_data = a.as_slice();
     let b_data = b.as_slice();
     let shared = pool::DisjointMut::new(out.as_mut_slice());
@@ -113,7 +113,7 @@ pub fn gemm_nt(a: &Matrix, b: &Matrix) -> Matrix {
     );
     let (m, k) = a.shape();
     let n = b.rows();
-    let mut out = Matrix::zeros(m, n);
+    let mut out = Matrix::zeros_in(m, n);
     let a_data = a.as_slice();
     let b_data = b.as_slice();
     let shared = pool::DisjointMut::new(out.as_mut_slice());

@@ -4,8 +4,11 @@
 # Builds the workspace, lints it, runs the full test suite, then re-runs
 # the determinism suites under forced thread counts (PIPAD_THREADS=1 and
 # =4): the host-parallel bit-exactness contract, the trace-export
-# byte-identity contract (golden Chrome-trace regression), and the chaos
-# gate (`repro chaos` twice, diffing the fault-injection reports).
+# byte-identity contract (golden Chrome-trace regression), the
+# allocation-budget gate (steady-state epochs must stay ≥95% below the
+# preparing epochs' hot-path heap allocations, under a pinned budget),
+# the buffer-pool kill-switch equivalence gate, and the chaos gate
+# (`repro chaos` twice, diffing the fault-injection reports).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -29,6 +32,12 @@ PIPAD_THREADS=1 cargo test -q --test trace_golden
 
 echo "== trace determinism @ PIPAD_THREADS=4 =="
 PIPAD_THREADS=4 cargo test -q --test trace_golden
+
+echo "== allocation budget (counting allocator, zero-alloc steady state) =="
+cargo test -q --release --test alloc_budget
+
+echo "== pool equivalence (PIPAD_NO_POOL=1 bit-identity) =="
+PIPAD_NO_POOL=1 cargo test -q --test pool_equivalence
 
 echo "== chaos determinism (repro chaos @ PIPAD_THREADS=1 vs =4) =="
 chaos_dir="$(mktemp -d)"

@@ -1,0 +1,86 @@
+//! Allocation-budget gate: steady-state epochs must approach zero-alloc.
+//!
+//! Installs the counting global allocator (the same one the `repro`
+//! binary uses) and trains one model, then asserts the zero-alloc-steady-
+//! state contract on the per-epoch `HostAllocStats`:
+//!
+//! * hot-path heap allocations (buffer-pool misses, each one a real
+//!   `Vec` allocation) drop by ≥95% from preparing to steady epochs;
+//! * total heap allocator calls per steady epoch stay under a pinned
+//!   budget, so an accidentally un-pooled hot path shows up as a diff
+//!   here rather than as silent regression.
+//!
+//! This file holds exactly one test: heap counters are process-global,
+//! so the binary must not run unrelated tests concurrently.
+
+use pipad::{train_pipad, PipadConfig};
+use pipad_dyngraph::{DatasetId, Scale};
+use pipad_gpu_sim::{DeviceConfig, Gpu};
+use pipad_models::{ModelKind, TrainingConfig};
+use pipad_tensor::{reset_pool, CountingAllocator};
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+/// Generous ceiling on total heap allocator calls per steady epoch for
+/// the workload below (~17k observed; includes the simulator's tracing
+/// and profiling bookkeeping, which the buffer pool does not cover).
+const STEADY_EPOCH_HEAP_ALLOC_BUDGET: u64 = 60_000;
+
+#[test]
+fn steady_state_epochs_are_allocation_free_on_the_hot_path() {
+    reset_pool();
+    let graph = DatasetId::Covid19England.gen_config(Scale::Tiny).generate();
+    let cfg = TrainingConfig {
+        window: 16,
+        epochs: 4,
+        preparing_epochs: 2,
+        lr: 0.01,
+        seed: 7,
+    };
+    let mut gpu = Gpu::new(DeviceConfig::v100());
+    let report = train_pipad(
+        &mut gpu,
+        ModelKind::TGcn,
+        &graph,
+        16,
+        &cfg,
+        &PipadConfig::default(),
+    )
+    .expect("train");
+
+    let mean = |preparing: bool, f: &dyn Fn(&pipad_models::HostAllocStats) -> u64| -> f64 {
+        let sel: Vec<u64> = report
+            .epochs
+            .iter()
+            .filter(|e| (e.epoch < cfg.preparing_epochs) == preparing)
+            .map(|e| f(&e.alloc))
+            .collect();
+        assert!(!sel.is_empty());
+        sel.iter().sum::<u64>() as f64 / sel.len() as f64
+    };
+
+    // The counting allocator is installed, so heap counters must be live.
+    for e in &report.epochs {
+        assert!(e.alloc.heap_allocs > 0, "epoch {}: allocator not counting", e.epoch);
+        assert!(e.alloc.pool_hits > 0, "epoch {}: pool never hit", e.epoch);
+    }
+
+    // ≥95% fewer hot-path heap allocations in steady state.
+    let prep_misses = mean(true, &|s| s.pool_misses);
+    let steady_misses = mean(false, &|s| s.pool_misses);
+    assert!(
+        steady_misses <= 0.05 * prep_misses,
+        "steady epochs still hit the heap on the hot path: \
+         {steady_misses:.0} misses/epoch vs {prep_misses:.0} preparing \
+         (need >=95% reduction)"
+    );
+
+    // Pinned total-allocation budget per steady epoch.
+    let steady_allocs = mean(false, &|s| s.heap_allocs);
+    assert!(
+        steady_allocs <= STEADY_EPOCH_HEAP_ALLOC_BUDGET as f64,
+        "steady epoch exceeds the allocation budget: {steady_allocs:.0} > {}",
+        STEADY_EPOCH_HEAP_ALLOC_BUDGET
+    );
+}

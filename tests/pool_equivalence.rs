@@ -1,0 +1,66 @@
+//! Buffer-pool equivalence gate: the host buffer pool is a pure
+//! allocation-strategy change. For every paper model, training must
+//! produce bit-identical per-epoch losses and a byte-identical exported
+//! Chrome trace with the pool on or off (`PIPAD_NO_POOL`'s in-process
+//! equivalent), at every host-pool thread count.
+
+use pipad::{train_pipad, PipadConfig};
+use pipad_dyngraph::{DatasetId, Scale};
+use pipad_gpu_sim::{export_chrome_trace, validate_json, DeviceConfig, Gpu};
+use pipad_models::{ModelKind, TrainingConfig};
+use pipad_pool::with_threads;
+use pipad_tensor::{reset_pool, with_pool_enabled};
+
+/// One training run: per-epoch losses (as exact bit patterns) plus the
+/// exported trace JSON.
+fn run_once(model: ModelKind) -> (Vec<u32>, String) {
+    let graph = DatasetId::Covid19England.gen_config(Scale::Tiny).generate();
+    let cfg = TrainingConfig {
+        window: 8,
+        epochs: 4,
+        preparing_epochs: 2,
+        lr: 0.01,
+        seed: 7,
+    };
+    let mut gpu = Gpu::new(DeviceConfig::v100());
+    let report = train_pipad(&mut gpu, model, &graph, 8, &cfg, &PipadConfig::default())
+        .expect("train");
+    let losses = report.losses().iter().map(|l| l.to_bits()).collect();
+    (losses, export_chrome_trace(gpu.trace(), 0))
+}
+
+#[test]
+fn pool_on_off_and_thread_count_do_not_change_results() {
+    for model in ModelKind::ALL {
+        // Cold pool, pool enabled — the reference run.
+        reset_pool();
+        let (base_losses, base_trace) = with_pool_enabled(true, || run_once(model));
+        validate_json(&base_trace).expect("well-formed trace");
+        assert!(
+            base_losses.iter().any(|&b| f32::from_bits(b).is_finite()),
+            "{model:?}: reference run produced no finite losses"
+        );
+
+        // Warm pool (recycled buffers from the previous run) must not
+        // change values either — recycled memory is fully overwritten.
+        let (warm_losses, warm_trace) = with_pool_enabled(true, || run_once(model));
+        assert_eq!(base_losses, warm_losses, "{model:?}: warm pool changed losses");
+        assert_eq!(base_trace, warm_trace, "{model:?}: warm pool changed trace");
+
+        for pool_on in [true, false] {
+            for threads in [1usize, 4] {
+                let (losses, trace) = with_pool_enabled(pool_on, || {
+                    with_threads(threads, || run_once(model))
+                });
+                assert_eq!(
+                    base_losses, losses,
+                    "{model:?}: losses diverged (pool_on={pool_on}, threads={threads})"
+                );
+                assert_eq!(
+                    base_trace, trace,
+                    "{model:?}: trace diverged (pool_on={pool_on}, threads={threads})"
+                );
+            }
+        }
+    }
+}

@@ -38,6 +38,56 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
     #[test]
+    fn transpose_round_trips(rows in 1usize..24, cols in 1usize..24, salt in 0u64..1000) {
+        // Pool-backed transpose writes every slot through MaybeUninit; a
+        // double transpose must reproduce the input bit-for-bit, also
+        // when served from recycled (previously dirty) buffers.
+        let m = Matrix::from_fn(rows, cols, |r, c| {
+            ((r * 31 + c * 7) as f32).mul_add(0.125, salt as f32 * 0.01) - 1.0
+        });
+        let t = m.transpose();
+        prop_assert_eq!(t.shape(), (cols, rows));
+        for r in 0..rows {
+            for c in 0..cols {
+                prop_assert_eq!(m[(r, c)].to_bits(), t[(c, r)].to_bits());
+            }
+        }
+        let tt = t.transpose();
+        prop_assert_eq!(&tt, &m);
+        t.recycle();
+        tt.recycle();
+        m.recycle();
+    }
+
+    #[test]
+    fn slice_rows_concat_rows_round_trips(
+        rows in 1usize..24,
+        cols in 1usize..16,
+        cut_a in 0usize..25,
+        cut_b in 0usize..25,
+    ) {
+        let m = Matrix::from_fn(rows, cols, |r, c| (r * 131 + c) as f32 * 0.5 - 3.0);
+        let (a, b) = (cut_a.min(rows), cut_b.min(rows));
+        let (lo, hi) = (a.min(b), a.max(b));
+        // Any slice matches the source elementwise...
+        let mid = m.slice_rows(lo, hi);
+        prop_assert_eq!(mid.shape(), (hi - lo, cols));
+        for r in 0..hi - lo {
+            for c in 0..cols {
+                prop_assert_eq!(mid[(r, c)].to_bits(), m[(lo + r, c)].to_bits());
+            }
+        }
+        // ...and re-concatenating the three-way split reproduces the input.
+        let head = m.slice_rows(0, lo);
+        let tail = m.slice_rows(hi, rows);
+        let back = Matrix::concat_rows(&[&head, &mid, &tail]);
+        prop_assert_eq!(&back, &m);
+        for part in [head, mid, tail, back, m] {
+            part.recycle();
+        }
+    }
+
+    #[test]
     fn csr_coo_round_trip((nv, es) in edges(40, 120)) {
         let csr = Csr::from_edges(nv as usize, nv as usize, &es);
         prop_assert_eq!(csr.to_coo().to_csr(), csr);
