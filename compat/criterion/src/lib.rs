@@ -107,9 +107,7 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher, &T),
     {
         let label = format!("{}/{}", self.name, id);
-        run_target(&label, self.sample_size, &mut |b: &mut Bencher| {
-            f(b, input)
-        });
+        run_target(&label, self.sample_size, &mut |b: &mut Bencher| f(b, input));
         self
     }
 

@@ -182,12 +182,7 @@ macro_rules! tuple_strategy {
         }
     )+};
 }
-tuple_strategy!(
-    (A.0),
-    (A.0, B.1),
-    (A.0, B.1, C.2),
-    (A.0, B.1, C.2, D.3)
-);
+tuple_strategy!((A.0), (A.0, B.1), (A.0, B.1, C.2), (A.0, B.1, C.2, D.3));
 
 pub mod collection {
     use super::{Strategy, TestRng};
@@ -303,9 +298,7 @@ mod tests {
     use crate::prelude::*;
 
     fn pair(n: u32) -> impl Strategy<Value = (u32, Vec<u32>)> {
-        (2..=n).prop_flat_map(move |k| {
-            (Just(k), crate::collection::vec(0..k, 0..10))
-        })
+        (2..=n).prop_flat_map(move |k| (Just(k), crate::collection::vec(0..k, 0..10)))
     }
 
     proptest! {

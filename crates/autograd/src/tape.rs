@@ -285,12 +285,20 @@ impl Tape {
             let handle = k::DeviceCsr::resident(Rc::clone(&adj));
             let dx = self.dev(x);
             match kernel {
-                AggregationKernel::CooScatter => k::spmm_coo_scatter(gpu, self.stream, &handle, &dx)?,
+                AggregationKernel::CooScatter => {
+                    k::spmm_coo_scatter(gpu, self.stream, &handle, &dx)?
+                }
                 AggregationKernel::GeSpmm => k::spmm_gespmm(gpu, self.stream, &handle, &dx)?,
             }
         };
         let rg = self.requires(x);
-        Ok(self.push_computed(gpu, out, Op::Spmm { adj, x, kernel }, rg, KernelCategory::Aggregation))
+        Ok(self.push_computed(
+            gpu,
+            out,
+            Op::Spmm { adj, x, kernel },
+            rg,
+            KernelCategory::Aggregation,
+        ))
     }
 
     /// PiPAD's parallel aggregation over a sliced adjacency and coalescent
@@ -382,8 +390,7 @@ impl Tape {
                     pool::parallel_for(n_rows, min_rows, |rows| {
                         for r in rows {
                             // SAFETY: bands cover disjoint row ranges.
-                            let row =
-                                unsafe { shared.slice(r * n_cols..(r + 1) * n_cols) };
+                            let row = unsafe { shared.slice(r * n_cols..(r + 1) * n_cols) };
                             let dst = &mut row[col..col + width];
                             for (d, &v) in dst.iter_mut().zip(ph.row(r)) {
                                 *d += v;
@@ -479,7 +486,13 @@ impl Tape {
             k::row_scale(gpu, self.stream, &dx, &factors, KernelCategory::Aggregation)?
         };
         let rg = self.requires(x);
-        Ok(self.push_computed(gpu, out, Op::RowScale { x, factors }, rg, KernelCategory::Aggregation))
+        Ok(self.push_computed(
+            gpu,
+            out,
+            Op::RowScale { x, factors },
+            rg,
+            KernelCategory::Aggregation,
+        ))
     }
 
     fn binary(
@@ -488,7 +501,13 @@ impl Tape {
         a: Var,
         b: Var,
         category: KernelCategory,
-        f: fn(&mut Gpu, StreamId, &DeviceMatrix, &DeviceMatrix, KernelCategory) -> Result<DeviceMatrix, OomError>,
+        f: fn(
+            &mut Gpu,
+            StreamId,
+            &DeviceMatrix,
+            &DeviceMatrix,
+            KernelCategory,
+        ) -> Result<DeviceMatrix, OomError>,
         op: Op,
     ) -> Result<Var, OomError> {
         let out = {
@@ -500,17 +519,35 @@ impl Tape {
     }
 
     /// Add.
-    pub fn add(&mut self, gpu: &mut Gpu, a: Var, b: Var, category: KernelCategory) -> Result<Var, OomError> {
+    pub fn add(
+        &mut self,
+        gpu: &mut Gpu,
+        a: Var,
+        b: Var,
+        category: KernelCategory,
+    ) -> Result<Var, OomError> {
         self.binary(gpu, a, b, category, k::add, Op::Add(a, b))
     }
 
     /// Sub.
-    pub fn sub(&mut self, gpu: &mut Gpu, a: Var, b: Var, category: KernelCategory) -> Result<Var, OomError> {
+    pub fn sub(
+        &mut self,
+        gpu: &mut Gpu,
+        a: Var,
+        b: Var,
+        category: KernelCategory,
+    ) -> Result<Var, OomError> {
         self.binary(gpu, a, b, category, k::sub, Op::Sub(a, b))
     }
 
     /// Elementwise product.
-    pub fn hadamard(&mut self, gpu: &mut Gpu, a: Var, b: Var, category: KernelCategory) -> Result<Var, OomError> {
+    pub fn hadamard(
+        &mut self,
+        gpu: &mut Gpu,
+        a: Var,
+        b: Var,
+        category: KernelCategory,
+    ) -> Result<Var, OomError> {
         self.binary(gpu, a, b, category, k::hadamard, Op::Hadamard(a, b))
     }
 
@@ -538,7 +575,13 @@ impl Tape {
     }
 
     /// Broadcast bias add (`b` is `1 × n`).
-    pub fn add_bias(&mut self, gpu: &mut Gpu, x: Var, b: Var, category: KernelCategory) -> Result<Var, OomError> {
+    pub fn add_bias(
+        &mut self,
+        gpu: &mut Gpu,
+        x: Var,
+        b: Var,
+        category: KernelCategory,
+    ) -> Result<Var, OomError> {
         let out = {
             let (dx, db) = (self.dev(x), self.dev(b));
             k::add_bias(gpu, self.stream, &dx, &db, category)?
@@ -564,17 +607,32 @@ impl Tape {
     }
 
     /// Sigmoid.
-    pub fn sigmoid(&mut self, gpu: &mut Gpu, x: Var, category: KernelCategory) -> Result<Var, OomError> {
+    pub fn sigmoid(
+        &mut self,
+        gpu: &mut Gpu,
+        x: Var,
+        category: KernelCategory,
+    ) -> Result<Var, OomError> {
         self.unary(gpu, x, category, k::sigmoid, Op::Sigmoid(x))
     }
 
     /// Tanh.
-    pub fn tanh(&mut self, gpu: &mut Gpu, x: Var, category: KernelCategory) -> Result<Var, OomError> {
+    pub fn tanh(
+        &mut self,
+        gpu: &mut Gpu,
+        x: Var,
+        category: KernelCategory,
+    ) -> Result<Var, OomError> {
         self.unary(gpu, x, category, k::tanh_act, Op::Tanh(x))
     }
 
     /// Relu.
-    pub fn relu(&mut self, gpu: &mut Gpu, x: Var, category: KernelCategory) -> Result<Var, OomError> {
+    pub fn relu(
+        &mut self,
+        gpu: &mut Gpu,
+        x: Var,
+        category: KernelCategory,
+    ) -> Result<Var, OomError> {
         self.unary(gpu, x, category, k::relu, Op::Relu(x))
     }
 
@@ -674,7 +732,12 @@ impl Tape {
     }
 
     /// Seed `d(loss)/d(pred)` for MSE and run the reverse sweep.
-    pub fn backward_mse(&mut self, gpu: &mut Gpu, pred: Var, target: &Matrix) -> Result<(), OomError> {
+    pub fn backward_mse(
+        &mut self,
+        gpu: &mut Gpu,
+        pred: Var,
+        target: &Matrix,
+    ) -> Result<(), OomError> {
         let seed = {
             let dm = self.dev(pred);
             k::mse_grad(gpu, self.stream, &dm, target)?
@@ -683,7 +746,12 @@ impl Tape {
     }
 
     /// Run the reverse sweep from `root` with an explicit seed gradient.
-    pub fn backward_from(&mut self, gpu: &mut Gpu, root: Var, seed: DeviceMatrix) -> Result<(), OomError> {
+    pub fn backward_from(
+        &mut self,
+        gpu: &mut Gpu,
+        root: Var,
+        seed: DeviceMatrix,
+    ) -> Result<(), OomError> {
         self.accumulate(gpu, root, seed)?;
         for i in (0..=root.0).rev() {
             if self.nodes[i].grad.is_none() || !self.nodes[i].requires_grad {
@@ -695,7 +763,11 @@ impl Tape {
     }
 
     fn accumulate(&mut self, gpu: &mut Gpu, v: Var, g: DeviceMatrix) -> Result<(), OomError> {
-        debug_assert_eq!(self.shape(v), (g.rows(), g.cols()), "gradient shape mismatch");
+        debug_assert_eq!(
+            self.shape(v),
+            (g.rows(), g.cols()),
+            "gradient shape mismatch"
+        );
         match self.nodes[v.0].grad.take() {
             None => self.nodes[v.0].grad = Some(g),
             Some(prev) => {
@@ -851,7 +923,8 @@ impl Tape {
                     // one-snapshot path skips them by graph reachability).
                     let member_is_zero = {
                         let gh = g_scaled.host();
-                        (0..gh.rows()).all(|r| gh.row(r)[col..col + width].iter().all(|&v| v == 0.0))
+                        (0..gh.rows())
+                            .all(|r| gh.row(r)[col..col + width].iter().all(|&v| v == 0.0))
                     };
                     if member_is_zero {
                         col += width;
@@ -1242,11 +1315,7 @@ mod tests {
     #[test]
     fn sliced_spmm_gradients_match_numeric() {
         let (mut gpu, s) = setup();
-        let csr = Csr::from_edges(
-            4,
-            4,
-            &[(0, 1), (1, 0), (1, 3), (3, 1), (2, 2)],
-        );
+        let csr = Csr::from_edges(4, 4, &[(0, 1), (1, 0), (1, 3), (3, 1), (2, 2)]);
         let sliced = Rc::new(SlicedCsr::from_csr(&csr));
         let x_host = uniform(&mut seeded_rng(20), 4, 2, 1.0);
         let w = shared(&mut gpu, uniform(&mut seeded_rng(21), 2, 2, 1.0));
@@ -1259,7 +1328,9 @@ mod tests {
             let xa = tape.matmul(gpu, x, wv, KernelCategory::Update).unwrap();
             let xb = tape.tanh(gpu, xa, KernelCategory::Update).unwrap();
             // coalescent features of a 2-snapshot partition
-            let co = tape.concat_cols(gpu, &[xa, xb], KernelCategory::Other).unwrap();
+            let co = tape
+                .concat_cols(gpu, &[xa, xb], KernelCategory::Other)
+                .unwrap();
             let agg = tape.spmm_sliced(gpu, Rc::clone(&sliced), co, 2).unwrap();
             let loss = tape.mse_loss(gpu, agg, &target);
             let grad = if want_grad {
@@ -1337,9 +1408,10 @@ mod tests {
             let ht = hx.map(f32::tanh);
             (hx, ht)
         };
-        for (m, (adj, hin, factors)) in
-            [(0usize, (&a, &h_ref.0, &inv[0])), (1, (&b, &h_ref.1, &inv[1]))]
-        {
+        for (m, (adj, hin, factors)) in [
+            (0usize, (&a, &h_ref.0, &inv[0])),
+            (1, (&b, &h_ref.1, &inv[1])),
+        ] {
             let mut expect = adj.spmm_dense(hin);
             for r in 0..expect.rows() {
                 let f = factors[r];
@@ -1363,7 +1435,18 @@ mod tests {
         let adj = Rc::new(Csr::from_edges(
             4,
             4,
-            &[(0, 1), (1, 0), (1, 2), (2, 1), (2, 3), (3, 2), (0, 0), (1, 1), (2, 2), (3, 3)],
+            &[
+                (0, 1),
+                (1, 0),
+                (1, 2),
+                (2, 1),
+                (2, 3),
+                (3, 2),
+                (0, 0),
+                (1, 1),
+                (2, 2),
+                (3, 3),
+            ],
         ));
         let x_host = uniform(&mut seeded_rng(40), 4, 3, 1.0);
         let w = shared_param_helper(&mut gpu, uniform(&mut seeded_rng(41), 3, 3, 1.0));
@@ -1378,8 +1461,12 @@ mod tests {
             let alv = tape.param(&al);
             let arv = tape.param(&ar);
             let h = tape.matmul(gpu, xv, wv, KernelCategory::Update).unwrap();
-            let lproj = tape.matmul(gpu, h, alv, KernelCategory::Aggregation).unwrap();
-            let rproj = tape.matmul(gpu, h, arv, KernelCategory::Aggregation).unwrap();
+            let lproj = tape
+                .matmul(gpu, h, alv, KernelCategory::Aggregation)
+                .unwrap();
+            let rproj = tape
+                .matmul(gpu, h, arv, KernelCategory::Aggregation)
+                .unwrap();
             let out = tape
                 .gat_aggregate(gpu, Rc::clone(&adj), h, lproj, rproj, 0.2)
                 .unwrap();
@@ -1403,9 +1490,15 @@ mod tests {
         let nw = numeric_grad(&mut gpu, &w, |gpu| run(gpu, false).0);
         assert!(gw.approx_eq(&nw, 3e-2), "W: analytic {gw:?} numeric {nw:?}");
         let nal = numeric_grad(&mut gpu, &al, |gpu| run(gpu, false).0);
-        assert!(gal.approx_eq(&nal, 3e-2), "a_l: analytic {gal:?} numeric {nal:?}");
+        assert!(
+            gal.approx_eq(&nal, 3e-2),
+            "a_l: analytic {gal:?} numeric {nal:?}"
+        );
         let nar = numeric_grad(&mut gpu, &ar, |gpu| run(gpu, false).0);
-        assert!(gar.approx_eq(&nar, 3e-2), "a_r: analytic {gar:?} numeric {nar:?}");
+        assert!(
+            gar.approx_eq(&nar, 3e-2),
+            "a_r: analytic {gar:?} numeric {nar:?}"
+        );
     }
 
     fn shared_param_helper(gpu: &mut Gpu, m: Matrix) -> SharedParam {
@@ -1428,7 +1521,9 @@ mod tests {
             let z = tape.sigmoid(gpu, h, KernelCategory::Rnn).unwrap();
             let t = tape.tanh(gpu, h, KernelCategory::Rnn).unwrap();
             let zt = tape.hadamard(gpu, z, t, KernelCategory::Rnn).unwrap();
-            let omz = tape.affine_const(gpu, z, -1.0, 1.0, KernelCategory::Rnn).unwrap();
+            let omz = tape
+                .affine_const(gpu, z, -1.0, 1.0, KernelCategory::Rnn)
+                .unwrap();
             let sg = tape.sigmoid(gpu, h, KernelCategory::Rnn).unwrap();
             let rest = tape.hadamard(gpu, omz, sg, KernelCategory::Rnn).unwrap();
             let out = tape.add(gpu, zt, rest, KernelCategory::Rnn).unwrap();
@@ -1458,8 +1553,12 @@ mod tests {
             let mut tape = Tape::new(s);
             let a = tape.input(DeviceMatrix::alloc(gpu, a_host.clone()).unwrap());
             let wv = tape.param(w);
-            let cat = tape.concat_cols(gpu, &[a, wv], KernelCategory::Other).unwrap();
-            let right = tape.slice_cols(gpu, cat, 2, 4, KernelCategory::Other).unwrap();
+            let cat = tape
+                .concat_cols(gpu, &[a, wv], KernelCategory::Other)
+                .unwrap();
+            let right = tape
+                .slice_cols(gpu, cat, 2, 4, KernelCategory::Other)
+                .unwrap();
             let loss = tape.mse_loss(gpu, right, &target);
             let g = if want {
                 tape.backward_mse(gpu, right, &target).unwrap();
@@ -1485,7 +1584,9 @@ mod tests {
         let mut tape = Tape::new(s);
         let x = tape.input(DeviceMatrix::alloc(&mut gpu, Matrix::full(4, 4, 1.0)).unwrap());
         let wv = tape.param(&w);
-        let h = tape.matmul(&mut gpu, x, wv, KernelCategory::Update).unwrap();
+        let h = tape
+            .matmul(&mut gpu, x, wv, KernelCategory::Update)
+            .unwrap();
         let h = tape.relu(&mut gpu, h, KernelCategory::Update).unwrap();
         tape.backward_mse(&mut gpu, h, &target).unwrap();
         assert!(gpu.mem().in_use() > baseline);
@@ -1502,7 +1603,9 @@ mod tests {
         let mut tape = Tape::new(s);
         let x = tape.input(DeviceMatrix::alloc(&mut gpu, Matrix::full(2, 3, 1.0)).unwrap());
         let wv = tape.param(&w);
-        let h = tape.matmul(&mut gpu, x, wv, KernelCategory::Update).unwrap();
+        let h = tape
+            .matmul(&mut gpu, x, wv, KernelCategory::Update)
+            .unwrap();
         let forward_launches = gpu.profiler().window(snap).kernel_launches;
         tape.backward_mse(&mut gpu, h, &target).unwrap();
         let total = gpu.profiler().window(snap).kernel_launches;

@@ -1,0 +1,251 @@
+//! Checkpoint assembly for the baseline trainers.
+//!
+//! The baselines carry far less state than PiPAD — no tuner, no GPU-side
+//! reuse tier, no pipeline fallback flags — so their checkpoint is a
+//! strict subset of the PiPAD layout, sharing section names and codecs
+//! with `pipad::checkpoint` via [`pipad_ckpt`]:
+//!
+//! | section     | contents                                            |
+//! |-------------|-----------------------------------------------------|
+//! | `meta`      | run fingerprint, next epoch, steady-phase t0, cache stats |
+//! | `clock`     | [`DeviceClock`] + host cursor                       |
+//! | `params`    | named parameter matrices (raw f32 bits)             |
+//! | `reuse_cpu` | CPU-side aggregation cache (PyGT-R / PyGT-G only)   |
+//! | `faults`    | [`FaultStats`] observed so far (provenance)         |
+//! | `epochs`    | per-epoch (index, loss bits, simulated time)        |
+//! | `gen_config`| dataset generator provenance (optional)             |
+
+use crate::reuse::ReuseCache;
+use crate::trainer::BaselineKind;
+use pipad_ckpt::codec::{
+    get_device_clock, get_fault_stats, get_gen_config, get_matrix, put_device_clock,
+    put_fault_stats, put_gen_config, put_matrix, put_str, put_u32, put_u64, Reader,
+};
+use pipad_ckpt::{Checkpoint, CheckpointWriter, CkptError, RunFingerprint};
+use pipad_dyngraph::GenConfig;
+use pipad_gpu_sim::{DeviceClock, FaultStats, SimNanos};
+use pipad_models::{DgnnModel, EpochReport, ModelKind, TrainingConfig};
+
+/// Fingerprint of a baseline run — the trainer field is the baseline's
+/// own name, so a PyGT-R checkpoint will not restore into a PyGT-G run
+/// even with identical hyper-parameters.
+pub fn baseline_fingerprint(
+    kind: BaselineKind,
+    model: ModelKind,
+    dataset: &str,
+    hidden: usize,
+    cfg: &TrainingConfig,
+) -> RunFingerprint {
+    RunFingerprint {
+        trainer: kind.name().to_string(),
+        model: model.name().to_string(),
+        dataset: dataset.to_string(),
+        hidden: hidden as u64,
+        window: cfg.window as u64,
+        epochs: cfg.epochs as u64,
+        preparing: cfg.preparing_epochs as u64,
+        lr_bits: cfg.lr.to_bits(),
+        seed: cfg.seed,
+    }
+}
+
+/// Borrowed view of a baseline trainer's state at an epoch boundary.
+pub struct BaselineCkptInputs<'a> {
+    /// Run identity.
+    pub fingerprint: &'a RunFingerprint,
+    /// First epoch a resumed run executes (the checkpointed epoch + 1).
+    pub next_epoch: usize,
+    /// Timestamp of the first steady epoch (zero while still preparing).
+    pub steady_t0: SimNanos,
+    /// Device timeline (cursors + op counters).
+    pub clock: DeviceClock,
+    /// Host-side staging cursor.
+    pub host_cursor: SimNanos,
+    /// The model whose parameters are saved.
+    pub model: &'a dyn DgnnModel,
+    /// Inter-frame reuse cache (`None` for PyGT / PyGT-A).
+    pub reuse: Option<&'a ReuseCache>,
+    /// Fault-injection statistics observed so far.
+    pub fault_stats: FaultStats,
+    /// Completed epochs.
+    pub epochs_done: &'a [EpochReport],
+    /// Dataset generator provenance.
+    pub gen_config: Option<&'a GenConfig>,
+}
+
+/// Serialize a baseline trainer's state into a [`CheckpointWriter`].
+pub fn encode_baseline_checkpoint(inputs: &BaselineCkptInputs<'_>) -> CheckpointWriter {
+    let mut w = CheckpointWriter::new();
+
+    let meta = w.section_sized("meta", 48 + inputs.fingerprint.encoded_len());
+    inputs.fingerprint.put(meta);
+    put_u64(meta, inputs.next_epoch as u64);
+    put_u64(meta, inputs.steady_t0.as_nanos());
+    put_u64(meta, inputs.reuse.map_or(0, |r| r.hits()));
+    put_u64(meta, inputs.reuse.map_or(0, |r| r.misses()));
+
+    let clock = w.section_sized("clock", 48 + 8 * inputs.clock.streams.len());
+    put_device_clock(clock, &inputs.clock);
+    put_u64(clock, inputs.host_cursor.as_nanos());
+
+    let params = inputs.model.params();
+    let cap: usize = 8 + params
+        .iter()
+        .map(|p| 4 + p.name.len() + 16 + p.value.borrow().bytes() as usize)
+        .sum::<usize>();
+    let s = w.section_sized("params", cap);
+    put_u64(s, params.len() as u64);
+    for p in &params {
+        put_str(s, &p.name);
+        let dm = p.value.borrow();
+        put_matrix(s, dm.host());
+    }
+
+    if let Some(reuse) = inputs.reuse {
+        let entries = reuse.entries_sorted();
+        let cap: usize = 8 + entries
+            .iter()
+            .map(|(_, m)| 24 + m.bytes() as usize)
+            .sum::<usize>();
+        let s = w.section_sized("reuse_cpu", cap);
+        put_u64(s, entries.len() as u64);
+        for (snapshot, m) in entries {
+            put_u64(s, snapshot as u64);
+            put_matrix(s, m);
+        }
+    }
+
+    let faults = w.section_sized("faults", 40);
+    put_fault_stats(faults, &inputs.fault_stats);
+
+    let s = w.section_sized("epochs", 8 + 20 * inputs.epochs_done.len());
+    put_u64(s, inputs.epochs_done.len() as u64);
+    for e in inputs.epochs_done {
+        // HostAllocStats are deliberately NOT encoded — same thread-
+        // invariance argument as the PiPAD trainer's checkpoint.
+        put_u64(s, e.epoch as u64);
+        put_u32(s, e.mean_loss.to_bits());
+        put_u64(s, e.sim_time.as_nanos());
+    }
+
+    if let Some(g) = inputs.gen_config {
+        let s = w.section_sized("gen_config", 80 + g.name.len());
+        put_gen_config(s, g);
+    }
+    w
+}
+
+/// Baseline trainer state handed back by [`restore_baseline_checkpoint`].
+pub struct BaselineRestoredState {
+    /// First epoch to execute.
+    pub next_epoch: usize,
+    /// Timestamp of the first steady epoch.
+    pub steady_t0: SimNanos,
+    /// Device timeline to restore *after* the prologue finishes.
+    pub clock: DeviceClock,
+    /// Host cursor to restore together with the clock.
+    pub host_cursor: SimNanos,
+    /// Completed epochs (alloc counters zeroed — see encoding note).
+    pub epochs_done: Vec<EpochReport>,
+    /// Fault statistics at checkpoint time (provenance only).
+    pub fault_stats: FaultStats,
+    /// Dataset provenance, if the policy embedded one.
+    pub gen_config: Option<GenConfig>,
+}
+
+/// Restore a baseline checkpoint into a freshly built model and (for the
+/// reuse variants) an empty cache. Fails with a typed [`CkptError`] on
+/// fingerprint, name or shape mismatch — never panics on foreign files.
+pub fn restore_baseline_checkpoint(
+    ckpt: &Checkpoint,
+    expect: &RunFingerprint,
+    model: &dyn DgnnModel,
+    reuse: Option<&mut ReuseCache>,
+) -> Result<BaselineRestoredState, CkptError> {
+    let mut r = Reader::new(ckpt.require("meta")?);
+    let fingerprint = RunFingerprint::get(&mut r)?;
+    if &fingerprint != expect {
+        return Err(CkptError::Malformed(
+            "checkpoint fingerprint does not match this run",
+        ));
+    }
+    let next_epoch = r.get_usize()?;
+    let steady_t0 = SimNanos::from_nanos(r.get_u64()?);
+    let reuse_hits = r.get_u64()?;
+    let reuse_misses = r.get_u64()?;
+    r.finish()?;
+
+    let mut r = Reader::new(ckpt.require("clock")?);
+    let clock = get_device_clock(&mut r)?;
+    let host_cursor = SimNanos::from_nanos(r.get_u64()?);
+    r.finish()?;
+
+    let mut r = Reader::new(ckpt.require("params")?);
+    let n = r.get_usize()?;
+    let live = model.params();
+    if n != live.len() {
+        return Err(CkptError::Malformed("parameter count mismatch"));
+    }
+    for p in &live {
+        let name = r.get_str()?;
+        if name != p.name {
+            return Err(CkptError::Malformed("parameter name mismatch"));
+        }
+        let m = get_matrix(&mut r)?;
+        let mut dm = p.value.borrow_mut();
+        if dm.host().shape() != m.shape() {
+            m.recycle();
+            return Err(CkptError::Malformed("parameter shape mismatch"));
+        }
+        dm.store(m);
+    }
+    r.finish()?;
+
+    if let Some(cache) = reuse {
+        let mut r = Reader::new(ckpt.require("reuse_cpu")?);
+        let n = r.get_usize()?;
+        for _ in 0..n {
+            let snapshot = r.get_usize()?;
+            cache.insert(snapshot, get_matrix(&mut r)?);
+        }
+        r.finish()?;
+        cache.restore_counters(reuse_hits, reuse_misses);
+    }
+
+    let mut r = Reader::new(ckpt.require("faults")?);
+    let fault_stats = get_fault_stats(&mut r)?;
+    r.finish()?;
+
+    let mut r = Reader::new(ckpt.require("epochs")?);
+    let n = r.get_usize()?;
+    let mut epochs_done = Vec::with_capacity(n);
+    for _ in 0..n {
+        epochs_done.push(EpochReport {
+            epoch: r.get_usize()?,
+            mean_loss: f32::from_bits(r.get_u32()?),
+            sim_time: SimNanos::from_nanos(r.get_u64()?),
+            alloc: Default::default(),
+        });
+    }
+    r.finish()?;
+
+    let gen_config = match ckpt.section("gen_config") {
+        Some(b) => {
+            let mut r = Reader::new(b);
+            let g = get_gen_config(&mut r)?;
+            r.finish()?;
+            Some(g)
+        }
+        None => None,
+    };
+
+    Ok(BaselineRestoredState {
+        next_epoch,
+        steady_t0,
+        clock,
+        host_cursor,
+        epochs_done,
+        fault_stats,
+        gen_config,
+    })
+}

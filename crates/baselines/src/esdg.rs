@@ -73,7 +73,10 @@ impl ResidentWindow {
             None => norm.adj_hat.bytes(),
         };
         let prep = SimNanos::from_nanos(gpu.cfg().host_op_fixed_ns)
-            + SimNanos::from_bytes(wire_bytes + snap.features.bytes(), gpu.cfg().host_bytes_per_us);
+            + SimNanos::from_bytes(
+                wire_bytes + snap.features.bytes(),
+                gpu.cfg().host_bytes_per_us,
+            );
         let (_, host_end) = gpu.host_op("esdg_diff_prep", *host_cursor, prep);
         *host_cursor = host_end;
         gpu.stream_wait_host(copy, host_end);
@@ -269,8 +272,15 @@ mod tests {
     fn diff_transfer_ships_far_fewer_bytes_than_pygt_a() {
         let (g, cfg) = setup();
         let mut g1 = Gpu::new(DeviceConfig::v100());
-        let full = train_baseline(&mut g1, BaselineKind::PygtA, ModelKind::EvolveGcn, &g, 8, &cfg)
-            .unwrap();
+        let full = train_baseline(
+            &mut g1,
+            BaselineKind::PygtA,
+            ModelKind::EvolveGcn,
+            &g,
+            8,
+            &cfg,
+        )
+        .unwrap();
         let mut g2 = Gpu::new(DeviceConfig::v100());
         let diff = train_esdg(&mut g2, ModelKind::EvolveGcn, &g, 8, &cfg).unwrap();
         assert!(
@@ -289,7 +299,9 @@ mod tests {
             .unwrap()
             .losses();
         let mut g2 = Gpu::new(DeviceConfig::v100());
-        let ours = train_esdg(&mut g2, ModelKind::TGcn, &g, 8, &cfg).unwrap().losses();
+        let ours = train_esdg(&mut g2, ModelKind::TGcn, &g, 8, &cfg)
+            .unwrap()
+            .losses();
         for (a, b) in ours.iter().zip(&base) {
             assert!((a - b).abs() < 1e-3, "{a} vs {b}");
         }

@@ -9,9 +9,7 @@
 use crate::reuse::ReuseCache;
 use pipad_autograd::{AggregationKernel, Tape, Var};
 use pipad_gpu_sim::{Event, Gpu, KernelCategory, OomError, SimNanos, StreamId};
-use pipad_kernels::{
-    upload_coo, upload_csr_with_csc, upload_matrix, DeviceCsr, DeviceMatrix,
-};
+use pipad_kernels::{upload_coo, upload_csr_with_csc, upload_matrix, DeviceCsr, DeviceMatrix};
 use pipad_models::{normalize_snapshot, GnnExecutor, NormalizedAdj};
 use pipad_sparse::Csr;
 use pipad_tensor::Matrix;
@@ -243,8 +241,11 @@ mod tests {
         let compute = gpu.default_stream();
         let copy = gpu.create_stream();
         let data = frame_data(5, 2, 3);
-        let frame: Vec<(usize, &Csr, &Matrix)> =
-            data.iter().enumerate().map(|(i, (a, f))| (i, a, f)).collect();
+        let frame: Vec<(usize, &Csr, &Matrix)> = data
+            .iter()
+            .enumerate()
+            .map(|(i, (a, f))| (i, a, f))
+            .collect();
         let mut host = SimNanos::ZERO;
         let mut exec = BaselineExecutor::stage(
             &mut gpu,
@@ -279,8 +280,11 @@ mod tests {
         let compute = gpu.default_stream();
         let copy = gpu.create_stream();
         let data = frame_data(5, 2, 3);
-        let frame: Vec<(usize, &Csr, &Matrix)> =
-            data.iter().enumerate().map(|(i, (a, f))| (i, a, f)).collect();
+        let frame: Vec<(usize, &Csr, &Matrix)> = data
+            .iter()
+            .enumerate()
+            .map(|(i, (a, f))| (i, a, f))
+            .collect();
         let mut cache = ReuseCache::new();
         let mut host = SimNanos::ZERO;
 
@@ -332,8 +336,11 @@ mod tests {
         let compute = gpu.default_stream();
         let copy = gpu.create_stream();
         let data = frame_data(5, 2, 3);
-        let frame: Vec<(usize, &Csr, &Matrix)> =
-            data.iter().enumerate().map(|(i, (a, f))| (i, a, f)).collect();
+        let frame: Vec<(usize, &Csr, &Matrix)> = data
+            .iter()
+            .enumerate()
+            .map(|(i, (a, f))| (i, a, f))
+            .collect();
         let mut cache = ReuseCache::new();
         for (i, (a, f)) in data.iter().enumerate() {
             let norm = normalize_snapshot(a);
@@ -347,7 +354,13 @@ mod tests {
         };
         let snap = gpu.profiler().snapshot();
         let exec = BaselineExecutor::stage(
-            &mut gpu, &frame, o, Some(&mut cache), compute, copy, &mut host,
+            &mut gpu,
+            &frame,
+            o,
+            Some(&mut cache),
+            compute,
+            copy,
+            &mut host,
         )
         .unwrap();
         let w = gpu.profiler().window(snap);
@@ -359,8 +372,11 @@ mod tests {
     #[test]
     fn sync_variant_blocks_host_on_transfers() {
         let data = frame_data(5, 2, 3);
-        let frame: Vec<(usize, &Csr, &Matrix)> =
-            data.iter().enumerate().map(|(i, (a, f))| (i, a, f)).collect();
+        let frame: Vec<(usize, &Csr, &Matrix)> = data
+            .iter()
+            .enumerate()
+            .map(|(i, (a, f))| (i, a, f))
+            .collect();
 
         let run = |async_transfer: bool| -> (SimNanos, SimNanos) {
             let mut gpu = Gpu::new(DeviceConfig::v100());
@@ -371,9 +387,8 @@ mod tests {
                 async_transfer,
                 ..opts(AggregationKernel::CooScatter)
             };
-            let exec =
-                BaselineExecutor::stage(&mut gpu, &frame, o, None, compute, copy, &mut host)
-                    .unwrap();
+            let exec = BaselineExecutor::stage(&mut gpu, &frame, o, None, compute, copy, &mut host)
+                .unwrap();
             exec.finish(&mut gpu);
             (host, gpu.now())
         };

@@ -15,12 +15,17 @@
 //! snapshot of every frame is shipped and aggregated individually, which is
 //! exactly the redundancy PiPAD removes.
 
+mod checkpoint;
 mod esdg;
 mod executor;
 mod reuse;
 mod trainer;
 
+pub use checkpoint::{
+    baseline_fingerprint, encode_baseline_checkpoint, restore_baseline_checkpoint,
+    BaselineCkptInputs, BaselineRestoredState,
+};
 pub use esdg::train_esdg;
 pub use executor::BaselineExecutor;
 pub use reuse::ReuseCache;
-pub use trainer::{train_baseline, BaselineKind};
+pub use trainer::{train_baseline, train_baseline_resumable, BaselineKind};

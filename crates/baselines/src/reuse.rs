@@ -72,6 +72,22 @@ impl ReuseCache {
     pub fn bytes(&self) -> u64 {
         self.store.values().map(Matrix::bytes).sum()
     }
+
+    /// Entries sorted by snapshot index — the deterministic iteration
+    /// order checkpoint encoding requires (the backing map is a
+    /// `HashMap`, whose raw order varies run to run).
+    pub fn entries_sorted(&self) -> Vec<(usize, &Matrix)> {
+        let mut v: Vec<(usize, &Matrix)> = self.store.iter().map(|(&k, m)| (k, m)).collect();
+        v.sort_by_key(|&(k, _)| k);
+        v
+    }
+
+    /// Overwrite the hit/miss counters (checkpoint restore: the resumed
+    /// run continues the original run's statistics).
+    pub fn restore_counters(&mut self, hits: u64, misses: u64) {
+        self.hits = hits;
+        self.misses = misses;
+    }
 }
 
 #[cfg(test)]

@@ -1,11 +1,18 @@
 //! End-to-end training loops for the PyGT baseline family.
 
+use crate::checkpoint::{
+    baseline_fingerprint, encode_baseline_checkpoint, restore_baseline_checkpoint,
+    BaselineCkptInputs,
+};
 use crate::executor::{BaselineExecutor, StageOptions};
 use crate::reuse::ReuseCache;
 use pipad_autograd::{AggregationKernel, Tape};
+use pipad_ckpt::{latest_checkpoint, write_checkpoint, Checkpoint, CheckpointPolicy};
 use pipad_dyngraph::{DynamicGraph, FrameIter};
-use pipad_gpu_sim::{Gpu, OomError, SimNanos};
-use pipad_models::{build_model, EpochReport, HostAllocStats, ModelKind, TrainReport, TrainingConfig};
+use pipad_gpu_sim::{ArgValue, DeviceFault, Gpu, Lane, OomError, SimNanos};
+use pipad_models::{
+    build_model, EpochReport, HostAllocStats, ModelKind, TrainReport, TrainingConfig,
+};
 use pipad_sparse::Csr;
 use pipad_tensor::Matrix;
 
@@ -71,6 +78,28 @@ pub fn train_baseline(
     hidden: usize,
     cfg: &TrainingConfig,
 ) -> Result<TrainReport, OomError> {
+    train_baseline_resumable(gpu, kind, model_kind, graph, hidden, cfg, None).map_err(|e| match e {
+        DeviceFault::Oom(oom) => oom,
+        other => panic!("baseline trainer without a fault plan raised {other}"),
+    })
+}
+
+/// [`train_baseline`] with checkpoint/restore: when `checkpoint` is set,
+/// the trainer restores from the newest checkpoint in the policy's
+/// directory (if any) before the epoch loop and writes one every
+/// `every_epochs` epochs. A run killed by an injected `crash` fault and
+/// resumed this way produces bit-identical losses to an uninterrupted
+/// run — the same contract `train_pipad` holds, minus the trace clause
+/// (baselines keep the device's kernel/transfer trace only).
+pub fn train_baseline_resumable(
+    gpu: &mut Gpu,
+    kind: BaselineKind,
+    model_kind: ModelKind,
+    graph: &DynamicGraph,
+    hidden: usize,
+    cfg: &TrainingConfig,
+    checkpoint: Option<&CheckpointPolicy>,
+) -> Result<TrainReport, DeviceFault> {
     let compute = gpu.default_stream();
     let copy = gpu.create_stream();
     let model = build_model(gpu, model_kind, graph.feature_dim(), hidden, cfg.seed)?;
@@ -92,7 +121,43 @@ pub fn train_baseline(
     let mut steady_t0 = SimNanos::ZERO;
     let run_t0 = gpu.synchronize();
 
-    for epoch in 0..cfg.epochs {
+    // ---- restore-on-start --------------------------------------------------
+    // Same scheme as `train_pipad`: the prologue above rebuilt the model
+    // deterministically; restore overwrites parameter values in place,
+    // refills the CPU reuse cache, then rewinds the device clock + host
+    // cursor so resumed epochs land on the original simulated timeline.
+    let fingerprint = baseline_fingerprint(kind, model_kind, &graph.name, hidden, cfg);
+    let mut start_epoch = 0usize;
+    if let Some(policy) = checkpoint {
+        if let Some((ck_epoch, path)) =
+            latest_checkpoint(&policy.dir).expect("checkpoint directory unreadable")
+        {
+            let ckpt = Checkpoint::read(&path)
+                .unwrap_or_else(|e| panic!("checkpoint {} is unreadable: {e}", path.display()));
+            let restored =
+                restore_baseline_checkpoint(&ckpt, &fingerprint, model.as_ref(), reuse.as_mut())
+                    .unwrap_or_else(|e| {
+                        panic!("checkpoint {} failed to restore: {e}", path.display())
+                    });
+            steady_t0 = restored.steady_t0;
+            epochs = restored.epochs_done;
+            start_epoch = restored.next_epoch;
+            let t = gpu.now().max(host_cursor);
+            gpu.trace_mut().instant(
+                "checkpoint_restore",
+                Lane::Control,
+                t,
+                vec![
+                    ("epoch", ArgValue::U64(ck_epoch as u64)),
+                    ("next_epoch", ArgValue::U64(start_epoch as u64)),
+                ],
+            );
+            gpu.restore_clock(&restored.clock);
+            host_cursor = restored.host_cursor;
+        }
+    }
+
+    for epoch in start_epoch..cfg.epochs {
         let t0 = gpu.synchronize().max(host_cursor);
         let alloc0 = HostAllocStats::capture();
         if epoch == cfg.preparing_epochs.min(cfg.epochs - 1) {
@@ -124,6 +189,9 @@ pub fn train_baseline(
             out.binder.apply_sgd(gpu, compute, &tape, cfg.lr);
             tape.finish(gpu);
             exec.finish(gpu);
+            if let Some(c) = gpu.take_crash() {
+                return Err(DeviceFault::Crash(c));
+            }
         }
         let t1 = gpu.synchronize().max(host_cursor);
         epochs.push(EpochReport {
@@ -132,6 +200,34 @@ pub fn train_baseline(
             sim_time: t1 - t0,
             alloc: HostAllocStats::capture().since(&alloc0),
         });
+
+        if let Some(policy) = checkpoint {
+            if policy.should_write(epoch) {
+                let writer = encode_baseline_checkpoint(&BaselineCkptInputs {
+                    fingerprint: &fingerprint,
+                    next_epoch: epoch + 1,
+                    steady_t0,
+                    clock: gpu.clock(),
+                    host_cursor,
+                    model: model.as_ref(),
+                    reuse: reuse.as_ref(),
+                    fault_stats: gpu.fault_stats(),
+                    epochs_done: &epochs,
+                    gen_config: policy.gen_config.as_ref(),
+                });
+                let (_, bytes) = write_checkpoint(&policy.dir, epoch, writer, policy.keep)
+                    .expect("checkpoint write failed");
+                gpu.trace_mut().instant(
+                    "checkpoint_write",
+                    Lane::Control,
+                    t1,
+                    vec![
+                        ("epoch", ArgValue::U64(epoch as u64)),
+                        ("bytes", ArgValue::U64(bytes)),
+                    ],
+                );
+            }
+        }
     }
 
     let run_t1 = gpu.synchronize().max(host_cursor);
@@ -249,6 +345,86 @@ mod tests {
                 assert!((a - b).abs() < 1e-4, "{curves:?}");
             }
         }
+    }
+
+    #[test]
+    fn kill_and_resume_reproduces_baseline_losses() {
+        use pipad_ckpt::CheckpointPolicy;
+        use pipad_gpu_sim::{CrashCounter, CrashPoint, DeviceFault, FaultPlan};
+        let g = tiny_graph();
+        let cfg = TrainingConfig {
+            window: 8,
+            epochs: 6,
+            preparing_epochs: 2,
+            lr: 0.01,
+            seed: 3,
+        };
+        let base =
+            std::env::temp_dir().join(format!("pipad-baseline-resume-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&base);
+        let policy_for = |dir: &str| CheckpointPolicy::new(base.join(dir), 2);
+
+        // PyGT-R so the restore path also refills the CPU reuse cache.
+        let kind = BaselineKind::PygtR;
+
+        let mut g1 = Gpu::new(pipad_gpu_sim::DeviceConfig::v100());
+        let reference = train_baseline_resumable(
+            &mut g1,
+            kind,
+            ModelKind::TGcn,
+            &g,
+            8,
+            &cfg,
+            Some(&policy_for("ref")),
+        )
+        .unwrap();
+        let total_launches = g1.op_counters().launches;
+
+        let mut g2 = Gpu::new(pipad_gpu_sim::DeviceConfig::v100());
+        g2.install_faults(FaultPlan {
+            crash: Some(CrashPoint {
+                counter: CrashCounter::Launches,
+                at: total_launches * 7 / 10,
+            }),
+            ..Default::default()
+        });
+        let err = train_baseline_resumable(
+            &mut g2,
+            kind,
+            ModelKind::TGcn,
+            &g,
+            8,
+            &cfg,
+            Some(&policy_for("killed")),
+        )
+        .expect_err("crash fault must abort the run");
+        assert!(matches!(err, DeviceFault::Crash(_)), "{err}");
+
+        let mut g3 = Gpu::new(pipad_gpu_sim::DeviceConfig::v100());
+        let resumed = train_baseline_resumable(
+            &mut g3,
+            kind,
+            ModelKind::TGcn,
+            &g,
+            8,
+            &cfg,
+            Some(&policy_for("killed")),
+        )
+        .unwrap();
+
+        let a: Vec<u32> = reference.losses().iter().map(|l| l.to_bits()).collect();
+        let b: Vec<u32> = resumed.losses().iter().map(|l| l.to_bits()).collect();
+        assert_eq!(a, b, "kill-and-resume changed the baseline loss trajectory");
+        // Resumed epochs also land on the original simulated timeline.
+        for (ra, rb) in reference.epochs.iter().zip(&resumed.epochs) {
+            assert_eq!(
+                ra.sim_time, rb.sim_time,
+                "epoch {} sim_time drifted",
+                ra.epoch
+            );
+        }
+
+        std::fs::remove_dir_all(&base).unwrap();
     }
 
     #[test]

@@ -194,7 +194,9 @@ pub fn mechanism_ablation(scale: RunScale) -> String {
             ModelKind::MpnnLstm,
             scale,
         );
-        let t = r.expect("V100 never exhausts memory at this scale").steady_epoch_time;
+        let t = r
+            .expect("V100 never exhausts memory at this scale")
+            .steady_epoch_time;
         let b = *base.get_or_insert(t);
         writeln!(
             out,

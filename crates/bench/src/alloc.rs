@@ -203,7 +203,12 @@ pub fn render_json(models: &[ModelAlloc]) -> String {
             m.steady_hot_allocs()
         )
         .unwrap();
-        writeln!(out, "      \"hot_reduction_pct\": {:.2},", m.reduction_pct()).unwrap();
+        writeln!(
+            out,
+            "      \"hot_reduction_pct\": {:.2},",
+            m.reduction_pct()
+        )
+        .unwrap();
         writeln!(
             out,
             "      \"preparing_heap_allocs_per_epoch\": {:.1},",
@@ -216,7 +221,12 @@ pub fn render_json(models: &[ModelAlloc]) -> String {
             m.steady_allocs()
         )
         .unwrap();
-        writeln!(out, "      \"heap_reduction_pct\": {:.2},", m.heap_reduction_pct()).unwrap();
+        writeln!(
+            out,
+            "      \"heap_reduction_pct\": {:.2},",
+            m.heap_reduction_pct()
+        )
+        .unwrap();
         out.push_str("      \"epochs\": [\n");
         for (j, e) in m.epochs.iter().enumerate() {
             if j > 0 {

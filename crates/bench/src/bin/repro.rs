@@ -18,6 +18,7 @@
 //!   host_parallel  serial-vs-pool wall-clock of the host numerics layer
 //!   trace    Chrome-trace timeline of one pipelined run (Perfetto-loadable)
 //!   chaos    deterministic fault injection + recovery demonstration
+//!   resume   kill-and-resume determinism (checkpoint/restore bit-identity)
 //!   alloc    host allocation profile (heap + buffer-pool counters per epoch)
 //!   all      everything (one grid pass shared by fig10/table2)
 //! ```
@@ -26,8 +27,8 @@
 //! (default `results/`).
 
 use pipad_bench::{
-    ablation, alloc, breakdown, chaos, fig11, fig12, fig5, fig9, grid, host_parallel, table1,
-    trace, RunScale,
+    ablation, alloc, breakdown, chaos, fig11, fig12, fig5, fig9, grid, host_parallel, resume,
+    table1, trace, RunScale,
 };
 use pipad_tensor::CountingAllocator;
 
@@ -67,7 +68,7 @@ fn parse_args() -> Args {
                 out_dir = PathBuf::from(argv.get(i).cloned().unwrap_or_default());
             }
             "--help" | "-h" => {
-                println!("usage: repro <table1|fig3|fig4|fig5|fig9|fig10|table2|grid|fig11|fig12|trace|chaos|alloc|all> [--scale tiny|laptop] [--out dir]");
+                println!("usage: repro <table1|fig3|fig4|fig5|fig9|fig10|table2|grid|fig11|fig12|trace|chaos|resume|alloc|all> [--scale tiny|laptop] [--out dir]");
                 std::process::exit(0);
             }
             other => experiment = other.to_string(),
@@ -143,7 +144,11 @@ fn main() {
                 RunScale::Laptop => 4096,
             };
             let rows = host_parallel::measure(nodes);
-            emit(&args.out_dir, "host_parallel", &host_parallel::render(&rows));
+            emit(
+                &args.out_dir,
+                "host_parallel",
+                &host_parallel::render(&rows),
+            );
             fs::create_dir_all(&args.out_dir).ok();
             let path = args.out_dir.join("host_parallel.json");
             fs::write(&path, host_parallel::render_json(&rows)).expect("write host_parallel.json");
@@ -161,6 +166,13 @@ fn main() {
             emit(&args.out_dir, "chaos", &art.summary);
             let path = args.out_dir.join("chaos.json");
             fs::write(&path, &art.json).expect("write chaos.json");
+            eprintln!("[repro] wrote {}", path.display());
+        }
+        "resume" => {
+            let art = resume::run(args.scale);
+            emit(&args.out_dir, "resume", &art.summary);
+            let path = args.out_dir.join("resume.json");
+            fs::write(&path, &art.json).expect("write resume.json");
             eprintln!("[repro] wrote {}", path.display());
         }
         "alloc" => {

@@ -111,8 +111,7 @@ pub fn render_fig3(rows: &[BreakdownRow]) -> String {
     }
     let mean_transfer: f64 =
         rows.iter().map(|r| r.transfer_pct).sum::<f64>() / rows.len().max(1) as f64;
-    let mean_util: f64 =
-        rows.iter().map(|r| r.sm_util_pct).sum::<f64>() / rows.len().max(1) as f64;
+    let mean_util: f64 = rows.iter().map(|r| r.sm_util_pct).sum::<f64>() / rows.len().max(1) as f64;
     writeln!(
         out,
         "\nmean transfer share: {mean_transfer:.1}%   (paper: 38.7%)\nmean SM utilization: {mean_util:.1}%   (paper: < 41.2%)"

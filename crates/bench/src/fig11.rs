@@ -67,8 +67,7 @@ pub fn profile_gnn(
         GnnPath::PygtG => {
             for (i, x) in feats.iter().enumerate() {
                 let norm = normalize_snapshot(&graph.snapshots[i].adj);
-                let adj =
-                    upload_csr_with_csc(&mut gpu, s, Rc::clone(&norm.adj_hat), true).unwrap();
+                let adj = upload_csr_with_csc(&mut gpu, s, Rc::clone(&norm.adj_hat), true).unwrap();
                 let dx = upload_matrix(&mut gpu, s, x, true).unwrap();
                 spmm_gespmm(&mut gpu, s, &adj, &dx).unwrap();
             }
@@ -186,7 +185,11 @@ pub fn run_fig11a(scale: RunScale) -> String {
 /// Render Figure 11b (dimension sensitivity, small-scale datasets).
 pub fn run_fig11b(scale: RunScale) -> String {
     let dims = [2usize, 8, 16, 32, 64, 128];
-    let small = [DatasetId::HepTh, DatasetId::Covid19England, DatasetId::Pems08];
+    let small = [
+        DatasetId::HepTh,
+        DatasetId::Covid19England,
+        DatasetId::Pems08,
+    ];
     let mut out = String::new();
     out.push_str(&header(
         "Figure 11b: Parallel-GNN speedup over PyGT vs feature dimension",
@@ -240,14 +243,7 @@ pub fn run_thread_util(scale: RunScale) -> String {
         let (_, b_pi) = profile_gnn(&g, 8, Some(2), GnnPath::Pipad { s_per: 4 });
         let ge = b_ge.warp_efficiency() * 100.0;
         let pi = b_pi.warp_efficiency() * 100.0;
-        writeln!(
-            out,
-            "{} {:>9.1}% {:>9.1}%",
-            pad(id.name(), 17),
-            ge,
-            pi
-        )
-        .unwrap();
+        writeln!(out, "{} {:>9.1}% {:>9.1}%", pad(id.name(), 17), ge, pi).unwrap();
         ge_total += ge;
         pi_total += pi;
     }

@@ -118,7 +118,9 @@ pub fn run(scale: RunScale) -> String {
         .unwrap();
     }
 
-    out.push_str("\nOverall training speedup, sliced CSR over plain CSR (PiPAD otherwise unchanged):\n");
+    out.push_str(
+        "\nOverall training speedup, sliced CSR over plain CSR (PiPAD otherwise unchanged):\n",
+    );
     write!(out, "{}", pad("Dataset", 17)).unwrap();
     for m in ModelKind::ALL {
         write!(out, "{:>11}", m.name()).unwrap();
@@ -164,10 +166,7 @@ mod tests {
         let sliced = pipad_sparse::SlicedCsr::from_csr(&csr);
         let f_csr = schedule_blocks(&csr_block_work(&csr, 4), 640).factor();
         let f_sliced = schedule_blocks(&sliced_block_work(&sliced, 16), 640).factor();
-        assert!(
-            f_sliced < f_csr,
-            "sliced {f_sliced:.2} vs csr {f_csr:.2}"
-        );
+        assert!(f_sliced < f_csr, "sliced {f_sliced:.2} vs csr {f_csr:.2}");
     }
 
     #[test]

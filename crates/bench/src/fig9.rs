@@ -9,8 +9,8 @@
 //! target overlap requirements").
 
 use crate::util::{header, pad};
-use pipad_gpu_sim::{DeviceConfig, Gpu, SimNanos};
 use pipad_gpu_sim::KernelCategory;
+use pipad_gpu_sim::{DeviceConfig, Gpu, SimNanos};
 use pipad_kernels::{gemm_device, spmm_sliced_parallel, upload_matrix, upload_sliced};
 use pipad_sparse::{extract_overlap, Csr, SlicedCsr};
 use pipad_tensor::{glorot_uniform, seeded_rng, uniform, Matrix};
@@ -24,13 +24,7 @@ pub const OR_SWEEP: [f64; 6] = [0.30, 0.45, 0.60, 0.75, 0.85, 0.95];
 pub const DIM_SWEEP: [usize; 6] = [2, 4, 8, 16, 32, 64];
 
 /// Build a snapshot group with the target overlap rate.
-fn group_with_or(
-    rng: &mut StdRng,
-    n: usize,
-    edges_per: usize,
-    s: usize,
-    or: f64,
-) -> Vec<Csr> {
+fn group_with_or(rng: &mut StdRng, n: usize, edges_per: usize, s: usize, or: f64) -> Vec<Csr> {
     let shared_count = (edges_per as f64 * or) as usize;
     let excl_count = edges_per - shared_count;
     let sample = |count: usize, rng: &mut StdRng| -> Vec<(u32, u32)> {
@@ -126,8 +120,14 @@ fn time_parallel(group: &[Csr], feats: &[Matrix], w: &Matrix) -> SimNanos {
     let part_refs: Vec<&Matrix> = host_parts.iter().collect();
     let stacked = Matrix::concat_rows(&part_refs);
     let d_stacked = pipad_kernels::DeviceMatrix::alloc(&mut gpu, stacked).unwrap();
-    pipad_kernels::gemm_device_weight_resident(&mut gpu, s, &d_stacked, &dw, KernelCategory::Update)
-        .unwrap();
+    pipad_kernels::gemm_device_weight_resident(
+        &mut gpu,
+        s,
+        &d_stacked,
+        &dw,
+        KernelCategory::Update,
+    )
+    .unwrap();
     let _ = over_out;
     gpu.synchronize() - t0
 }

@@ -111,11 +111,7 @@ pub fn render_table2(g: &GridResults) -> String {
         for m in Method::ALL {
             write!(out, "{}", pad(m.name(), 8)).unwrap();
             for id in ALL_DATASETS {
-                let util = g
-                    .report(model, id, m)
-                    .steady
-                    .sm_utilization_with_memcpy()
-                    * 100.0;
+                let util = g.report(model, id, m).steady.sm_utilization_with_memcpy() * 100.0;
                 write!(out, "{util:>7.1}").unwrap();
             }
             out.push('\n');

@@ -16,6 +16,7 @@
 //! | [`ablation`] | extension: hardware-sensitivity and per-mechanism ablations |
 //! | [`trace`] | extension: Chrome-trace timeline of one pipelined run (open in Perfetto) |
 //! | [`chaos`] | extension: deterministic fault injection + recovery demonstration |
+//! | [`resume`] | extension: kill-and-resume determinism (checkpoint/restore bit-identity) |
 //! | [`alloc`] | extension: host allocation profile — heap/pool counters per preparing vs steady epoch |
 //!
 //! Run everything with the `repro` binary:
@@ -34,6 +35,7 @@ pub mod fig5;
 pub mod fig9;
 pub mod grid;
 pub mod host_parallel;
+pub mod resume;
 pub mod table1;
 pub mod trace;
 pub mod util;

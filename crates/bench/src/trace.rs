@@ -12,9 +12,7 @@
 use crate::util::{dataset, default_training_config, RunScale};
 use pipad::{train_pipad, PipadConfig};
 use pipad_dyngraph::DatasetId;
-use pipad_gpu_sim::{
-    export_chrome_trace, trace_text_summary, validate_json, DeviceConfig, Gpu,
-};
+use pipad_gpu_sim::{export_chrome_trace, trace_text_summary, validate_json, DeviceConfig, Gpu};
 use pipad_models::ModelKind;
 use pipad_pool::with_threads;
 use std::fmt::Write as _;

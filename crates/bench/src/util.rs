@@ -78,15 +78,10 @@ impl Method {
     ) -> TrainReport {
         let mut gpu = Gpu::new(DeviceConfig::v100());
         match self {
-            Method::Pipad => train_pipad(
-                &mut gpu,
-                model,
-                graph,
-                hidden,
-                cfg,
-                &PipadConfig::default(),
-            )
-            .expect("PiPAD run failed"),
+            Method::Pipad => {
+                train_pipad(&mut gpu, model, graph, hidden, cfg, &PipadConfig::default())
+                    .expect("PiPAD run failed")
+            }
             baseline => {
                 let kind = match baseline {
                     Method::Pygt => BaselineKind::Pygt,

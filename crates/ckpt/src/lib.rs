@@ -1,0 +1,37 @@
+#![warn(missing_docs)]
+//! # pipad-ckpt
+//!
+//! Deterministic binary checkpoint/restore for the PiPAD reproduction.
+//!
+//! A checkpoint is a single file of named, length-prefixed sections, each
+//! guarded by a CRC-32 and the whole file by a trailing CRC-32 (format
+//! details in [`format`]). Everything is hand-rolled little-endian — no
+//! serialization dependency — and floats are stored as raw IEEE-754
+//! bits, so restored state is *bit-identical* to what was saved. That is
+//! the property the resume-equivalence suite leans on: a run killed by an
+//! injected crash fault and resumed from its last checkpoint must produce
+//! the same loss bits and the same steady-epoch trace bytes as a run that
+//! was never interrupted.
+//!
+//! Modules:
+//! - [`crc32`] — table-driven CRC-32 (IEEE), built at compile time.
+//! - [`codec`] — bounds-checked little-endian encode/decode primitives
+//!   plus typed codecs for matrices, generator configs, device clocks and
+//!   fault counters.
+//! - [`format`] — the container: [`CheckpointWriter`], [`Checkpoint`],
+//!   atomic writes, rotation and discovery.
+//! - [`policy`] — [`CheckpointPolicy`]: cadence, directory, retention.
+
+pub mod codec;
+pub mod crc32;
+pub mod fingerprint;
+pub mod format;
+pub mod policy;
+
+pub use crc32::crc32;
+pub use fingerprint::RunFingerprint;
+pub use format::{
+    checkpoint_path, latest_checkpoint, list_checkpoints, rotate, write_checkpoint, Checkpoint,
+    CheckpointWriter, CkptError, EXTENSION, MAGIC, VERSION,
+};
+pub use policy::CheckpointPolicy;

@@ -37,8 +37,7 @@ impl GraphAnalyzer {
         for snap in &graph.snapshots {
             let norm = normalize_snapshot(&snap.adj);
             let cost = SimNanos::from_nanos(
-                gpu.cfg().host_op_fixed_ns
-                    + SLICE_NS_PER_EDGE * norm.adj_hat.nnz() as u64,
+                gpu.cfg().host_op_fixed_ns + SLICE_NS_PER_EDGE * norm.adj_hat.nnz() as u64,
             );
             let (_, end) = gpu.host_op("graph_slicing", *host_cursor, cost);
             *host_cursor = end;

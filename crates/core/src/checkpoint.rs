@@ -1,0 +1,379 @@
+//! Checkpoint assembly for the PiPAD trainer (§3.14 of DESIGN.md).
+//!
+//! A PiPAD checkpoint captures everything the trainer needs to continue a
+//! run *on the same simulated timeline*: model parameters, the dynamic
+//! tuner's decisions and profiling inputs, both tiers of the inter-frame
+//! reuse state, fault-recovery flags, the per-epoch loss history, the
+//! device clock (lane cursors + op counters) and the trainer's host
+//! cursor. Restoring replays none of the computation — parameters and
+//! cache entries are stored back in place, the analyzer/catalog are
+//! recomputed deterministically by the prologue, and the final
+//! [`pipad_gpu_sim::Gpu::restore_clock`] erases the prologue's timestamp
+//! and counter perturbations. The result: a killed-and-resumed run emits
+//! bit-identical losses and byte-identical steady-epoch trace windows.
+//!
+//! Section layout (all encoded with [`pipad_ckpt::codec`]):
+//!
+//! | section     | contents                                                  |
+//! |-------------|-----------------------------------------------------------|
+//! | `meta`      | run fingerprint, next epoch, recovery flags, cache stats  |
+//! | `clock`     | [`DeviceClock`] + host cursor                             |
+//! | `params`    | named parameter matrices (raw f32 bits)                   |
+//! | `tuner`     | `S_per` decisions, frame profiles, straggler baselines    |
+//! | `reuse_cpu` | CPU-tier aggregation store (snapshot → matrix)            |
+//! | `reuse_gpu` | GPU-tier cache contents (snapshot → matrix)               |
+//! | `faults`    | [`FaultStats`] observed so far (provenance)               |
+//! | `epochs`    | per-epoch (index, loss bits, simulated time)              |
+//! | `gen_config`| dataset generator provenance (optional)                   |
+
+use crate::reuse::InterFrameReuse;
+use crate::tuner::FrameProfile;
+use pipad_ckpt::codec::{
+    get_device_clock, get_fault_stats, get_gen_config, get_matrix, put_bool, put_device_clock,
+    put_fault_stats, put_gen_config, put_matrix, put_str, put_u32, put_u64, Reader,
+};
+pub use pipad_ckpt::RunFingerprint;
+use pipad_ckpt::{Checkpoint, CheckpointWriter, CkptError};
+use pipad_dyngraph::GenConfig;
+use pipad_gpu_sim::{DeviceClock, FaultStats, Gpu, SimNanos};
+use pipad_models::{DgnnModel, EpochReport, ModelKind, TrainingConfig};
+
+/// Fingerprint of a run of `trainer` on `dataset` with these
+/// hyper-parameters (see [`RunFingerprint`]).
+pub fn run_fingerprint(
+    trainer: &str,
+    model: ModelKind,
+    dataset: &str,
+    hidden: usize,
+    cfg: &TrainingConfig,
+) -> RunFingerprint {
+    RunFingerprint {
+        trainer: trainer.to_string(),
+        model: model.name().to_string(),
+        dataset: dataset.to_string(),
+        hidden: hidden as u64,
+        window: cfg.window as u64,
+        epochs: cfg.epochs as u64,
+        preparing: cfg.preparing_epochs as u64,
+        lr_bits: cfg.lr.to_bits(),
+        seed: cfg.seed,
+    }
+}
+
+/// Borrowed view of the trainer's state at an epoch boundary — everything
+/// [`encode_checkpoint`] serializes.
+pub struct CkptInputs<'a> {
+    /// Run identity.
+    pub fingerprint: &'a RunFingerprint,
+    /// First epoch a resumed run executes (the checkpointed epoch + 1).
+    pub next_epoch: usize,
+    /// Timestamp of the first steady epoch (zero while still preparing).
+    pub steady_t0: SimNanos,
+    /// Permanent sequential fallback tripped?
+    pub sequential_mode: bool,
+    /// Consecutive straggling frames seen.
+    pub slow_frames: u32,
+    /// Optimizer steps skipped by NaN-recovery.
+    pub skipped_steps: u64,
+    /// Device timeline (cursors + op counters).
+    pub clock: DeviceClock,
+    /// Host-side preparation cursor.
+    pub host_cursor: SimNanos,
+    /// The model whose parameters are saved.
+    pub model: &'a dyn DgnnModel,
+    /// Both tiers of inter-frame reuse state.
+    pub reuse: &'a InterFrameReuse,
+    /// Tuner decisions (empty while preparing).
+    pub decisions: &'a [usize],
+    /// Preparing-epoch frame profiles.
+    pub frame_profiles: &'a [FrameProfile],
+    /// First-steady-epoch frame wall times (straggler baselines).
+    pub frame_walls: &'a [SimNanos],
+    /// Fault-injection statistics observed so far.
+    pub fault_stats: FaultStats,
+    /// Completed epochs.
+    pub epochs_done: &'a [EpochReport],
+    /// Dataset generator provenance.
+    pub gen_config: Option<&'a GenConfig>,
+}
+
+/// Serialize the trainer state into a [`CheckpointWriter`]. Section
+/// staging buffers are sized exactly, so in a steady-state epoch every
+/// buffer comes from (and returns to) the byte pool without heap growth.
+pub fn encode_checkpoint(inputs: &CkptInputs<'_>) -> CheckpointWriter {
+    let mut w = CheckpointWriter::new();
+
+    let meta = w.section_sized("meta", 64 + inputs.fingerprint.encoded_len());
+    inputs.fingerprint.put(meta);
+    put_u64(meta, inputs.next_epoch as u64);
+    put_u64(meta, inputs.steady_t0.as_nanos());
+    put_bool(meta, inputs.sequential_mode);
+    put_u32(meta, inputs.slow_frames);
+    put_u64(meta, inputs.skipped_steps);
+    put_u64(meta, inputs.reuse.gpu_cache.budget());
+    put_u64(meta, inputs.reuse.gpu_cache.hits());
+    put_u64(meta, inputs.reuse.gpu_cache.misses());
+
+    let clock = w.section_sized("clock", 48 + 8 * inputs.clock.streams.len());
+    put_device_clock(clock, &inputs.clock);
+    put_u64(clock, inputs.host_cursor.as_nanos());
+
+    let params = inputs.model.params();
+    let cap: usize = 8 + params
+        .iter()
+        .map(|p| 4 + p.name.len() + 16 + p.value.borrow().bytes() as usize)
+        .sum::<usize>();
+    let s = w.section_sized("params", cap);
+    put_u64(s, params.len() as u64);
+    for p in &params {
+        put_str(s, &p.name);
+        let dm = p.value.borrow();
+        put_matrix(s, dm.host());
+    }
+
+    let tuner = w.section_sized(
+        "tuner",
+        24 + 8 * inputs.decisions.len()
+            + 24 * inputs.frame_profiles.len()
+            + 8 * inputs.frame_walls.len(),
+    );
+    put_u64(tuner, inputs.decisions.len() as u64);
+    for &d in inputs.decisions {
+        put_u64(tuner, d as u64);
+    }
+    put_u64(tuner, inputs.frame_profiles.len() as u64);
+    for p in inputs.frame_profiles {
+        put_u64(tuner, p.peak_mem_one_snapshot);
+        put_u64(tuner, p.compute_time.as_nanos());
+        put_u64(tuner, p.transfer_bytes);
+    }
+    put_u64(tuner, inputs.frame_walls.len() as u64);
+    for &wall in inputs.frame_walls {
+        put_u64(tuner, wall.as_nanos());
+    }
+
+    let cpu_entries = inputs.reuse.cpu.entries_sorted();
+    let cap: usize = 8 + cpu_entries
+        .iter()
+        .map(|(_, m)| 24 + m.bytes() as usize)
+        .sum::<usize>();
+    let s = w.section_sized("reuse_cpu", cap);
+    put_u64(s, cpu_entries.len() as u64);
+    for (snapshot, m) in cpu_entries {
+        put_u64(s, snapshot as u64);
+        put_matrix(s, m);
+    }
+
+    let cap = 8 + inputs.reuse.gpu_cache.used() as usize + 24 * inputs.reuse.gpu_cache.len();
+    let s = w.section_sized("reuse_gpu", cap);
+    put_u64(s, inputs.reuse.gpu_cache.len() as u64);
+    inputs.reuse.gpu_cache.for_each_host(|snapshot, m| {
+        put_u64(s, snapshot as u64);
+        put_matrix(s, m);
+    });
+
+    let faults = w.section_sized("faults", 40);
+    put_fault_stats(faults, &inputs.fault_stats);
+
+    let s = w.section_sized("epochs", 8 + 20 * inputs.epochs_done.len());
+    put_u64(s, inputs.epochs_done.len() as u64);
+    for e in inputs.epochs_done {
+        // HostAllocStats are deliberately NOT encoded: heap counters vary
+        // with `PIPAD_THREADS` and allocator state, and the resume
+        // contract is thread-invariant. Restored epochs report zeros.
+        put_u64(s, e.epoch as u64);
+        put_u32(s, e.mean_loss.to_bits());
+        put_u64(s, e.sim_time.as_nanos());
+    }
+
+    if let Some(g) = inputs.gen_config {
+        let s = w.section_sized("gen_config", 80 + g.name.len());
+        put_gen_config(s, g);
+    }
+    w
+}
+
+/// Trainer state handed back by [`restore_checkpoint`] — the loop
+/// variables `train_pipad` seeds itself with before entering the epoch
+/// loop at `next_epoch`.
+pub struct RestoredState {
+    /// First epoch to execute.
+    pub next_epoch: usize,
+    /// Timestamp of the first steady epoch.
+    pub steady_t0: SimNanos,
+    /// Sequential fallback already tripped?
+    pub sequential_mode: bool,
+    /// Consecutive straggling frames.
+    pub slow_frames: u32,
+    /// Optimizer steps skipped so far.
+    pub skipped_steps: u64,
+    /// Device timeline to restore *after* the prologue finishes.
+    pub clock: DeviceClock,
+    /// Host cursor to restore together with the clock.
+    pub host_cursor: SimNanos,
+    /// Tuner decisions.
+    pub decisions: Vec<usize>,
+    /// Preparing-epoch frame profiles.
+    pub frame_profiles: Vec<FrameProfile>,
+    /// Straggler baselines.
+    pub frame_walls: Vec<SimNanos>,
+    /// Completed epochs (alloc counters zeroed — see encoding note).
+    pub epochs_done: Vec<EpochReport>,
+    /// Fault statistics at checkpoint time (provenance only).
+    pub fault_stats: FaultStats,
+    /// Dataset provenance, if the policy embedded one.
+    pub gen_config: Option<GenConfig>,
+}
+
+/// Restore a checkpoint into a freshly built model and empty reuse state.
+///
+/// Parameters are stored back in place (no kernels, no transfers), cache
+/// entries are re-uploaded via the same allocation path the live run
+/// used, and counters/cursors are returned in [`RestoredState`] for the
+/// caller to apply via [`Gpu::restore_clock`] once the prologue is done.
+/// Fails with a typed [`CkptError`] on fingerprint mismatch, unknown
+/// parameter names, or shape mismatches — never panics on foreign files.
+pub fn restore_checkpoint(
+    gpu: &mut Gpu,
+    ckpt: &Checkpoint,
+    expect: &RunFingerprint,
+    model: &dyn DgnnModel,
+    reuse: &mut InterFrameReuse,
+) -> Result<RestoredState, CkptError> {
+    let mut r = Reader::new(ckpt.require("meta")?);
+    let fingerprint = RunFingerprint::get(&mut r)?;
+    if &fingerprint != expect {
+        return Err(CkptError::Malformed(
+            "checkpoint fingerprint does not match this run",
+        ));
+    }
+    let next_epoch = r.get_usize()?;
+    let steady_t0 = SimNanos::from_nanos(r.get_u64()?);
+    let sequential_mode = r.get_bool()?;
+    let slow_frames = r.get_u32()?;
+    let skipped_steps = r.get_u64()?;
+    let gpu_cache_budget = r.get_u64()?;
+    let gpu_cache_hits = r.get_u64()?;
+    let gpu_cache_misses = r.get_u64()?;
+    r.finish()?;
+
+    let mut r = Reader::new(ckpt.require("clock")?);
+    let clock = get_device_clock(&mut r)?;
+    let host_cursor = SimNanos::from_nanos(r.get_u64()?);
+    r.finish()?;
+
+    let mut r = Reader::new(ckpt.require("params")?);
+    let n = r.get_usize()?;
+    let live = model.params();
+    if n != live.len() {
+        return Err(CkptError::Malformed("parameter count mismatch"));
+    }
+    for p in &live {
+        // Saved in `model.params()` order, so names line up positionally;
+        // the name check guards against format or model drift.
+        let name = r.get_str()?;
+        if name != p.name {
+            return Err(CkptError::Malformed("parameter name mismatch"));
+        }
+        let m = get_matrix(&mut r)?;
+        let mut dm = p.value.borrow_mut();
+        if dm.host().shape() != m.shape() {
+            m.recycle();
+            return Err(CkptError::Malformed("parameter shape mismatch"));
+        }
+        dm.store(m);
+    }
+    r.finish()?;
+
+    let mut r = Reader::new(ckpt.require("tuner")?);
+    let n = r.get_usize()?;
+    let mut decisions = Vec::with_capacity(n);
+    for _ in 0..n {
+        decisions.push(r.get_usize()?);
+    }
+    let n = r.get_usize()?;
+    let mut frame_profiles = Vec::with_capacity(n);
+    for _ in 0..n {
+        frame_profiles.push(FrameProfile {
+            peak_mem_one_snapshot: r.get_u64()?,
+            compute_time: SimNanos::from_nanos(r.get_u64()?),
+            transfer_bytes: r.get_u64()?,
+        });
+    }
+    let n = r.get_usize()?;
+    let mut frame_walls = Vec::with_capacity(n);
+    for _ in 0..n {
+        frame_walls.push(SimNanos::from_nanos(r.get_u64()?));
+    }
+    r.finish()?;
+
+    let mut r = Reader::new(ckpt.require("reuse_cpu")?);
+    let n = r.get_usize()?;
+    for _ in 0..n {
+        let snapshot = r.get_usize()?;
+        reuse.cpu.insert(snapshot, get_matrix(&mut r)?);
+    }
+    r.finish()?;
+
+    reuse.gpu_cache.set_budget(gpu_cache_budget);
+    let mut r = Reader::new(ckpt.require("reuse_gpu")?);
+    let n = r.get_usize()?;
+    for _ in 0..n {
+        let snapshot = r.get_usize()?;
+        let m = get_matrix(&mut r)?;
+        let kept = reuse
+            .gpu_cache
+            .put(gpu, snapshot, m)
+            .map_err(|_| CkptError::Malformed("device OOM while restoring reuse cache"))?;
+        if !kept {
+            return Err(CkptError::Malformed("reuse entry exceeds restored budget"));
+        }
+    }
+    r.finish()?;
+    reuse
+        .gpu_cache
+        .restore_counters(gpu_cache_hits, gpu_cache_misses);
+
+    let mut r = Reader::new(ckpt.require("faults")?);
+    let fault_stats = get_fault_stats(&mut r)?;
+    r.finish()?;
+
+    let mut r = Reader::new(ckpt.require("epochs")?);
+    let n = r.get_usize()?;
+    let mut epochs_done = Vec::with_capacity(n);
+    for _ in 0..n {
+        epochs_done.push(EpochReport {
+            epoch: r.get_usize()?,
+            mean_loss: f32::from_bits(r.get_u32()?),
+            sim_time: SimNanos::from_nanos(r.get_u64()?),
+            alloc: Default::default(),
+        });
+    }
+    r.finish()?;
+
+    let gen_config = match ckpt.section("gen_config") {
+        Some(b) => {
+            let mut r = Reader::new(b);
+            let g = get_gen_config(&mut r)?;
+            r.finish()?;
+            Some(g)
+        }
+        None => None,
+    };
+
+    Ok(RestoredState {
+        next_epoch,
+        steady_t0,
+        sequential_mode,
+        slow_frames,
+        skipped_steps,
+        clock,
+        host_cursor,
+        decisions,
+        frame_profiles,
+        frame_walls,
+        epochs_done,
+        fault_stats,
+        gen_config,
+    })
+}

@@ -18,7 +18,9 @@ use crate::analyzer::GraphAnalyzer;
 use crate::prep::{PartitionCatalog, PartitionPlan};
 use crate::reuse::InterFrameReuse;
 use pipad_autograd::{SharedParam, Tape, Var};
-use pipad_gpu_sim::{ArgValue, DeviceFault, Event, Gpu, KernelCategory, Lane, OomError, SimNanos, StreamId};
+use pipad_gpu_sim::{
+    ArgValue, DeviceFault, Event, Gpu, KernelCategory, Lane, OomError, SimNanos, StreamId,
+};
 use pipad_kernels::{upload_matrix_checked, upload_sliced_checked, DeviceMatrix, DeviceSliced};
 use pipad_tensor::Matrix;
 use std::rc::Rc;
@@ -118,7 +120,9 @@ impl<'r> PipadExecutor<'r> {
                     .filter(|_| opts.inter_frame_reuse)
                     .and_then(|r| r.gpu_cache.get(global));
                 let cpu_agg_host = if gpu_agg.is_none() && opts.inter_frame_reuse {
-                    reuse.as_ref().and_then(|r| r.cpu.get(global).map(Matrix::clone_in))
+                    reuse
+                        .as_ref()
+                        .and_then(|r| r.cpu.get(global).map(Matrix::clone_in))
                 } else {
                     None
                 };
@@ -151,10 +155,7 @@ impl<'r> PipadExecutor<'r> {
             let adj_bytes = if !needs_adj {
                 0
             } else if !opts.use_sliced {
-                slots
-                    .iter()
-                    .map(|(_, s, ..)| s.norm.adj_hat.bytes())
-                    .sum()
+                slots.iter().map(|(_, s, ..)| s.norm.adj_hat.bytes()).sum()
             } else {
                 plan.map(|p| p.adjacency_bytes)
                     .unwrap_or_else(|| slots.iter().map(|(_, s, ..)| s.sliced.bytes()).sum())
@@ -181,14 +182,24 @@ impl<'r> PipadExecutor<'r> {
                 // Figure 12 ablation: plain CSR per snapshot.
                 for (_, snap, ..) in &slots {
                     let shared = Rc::clone(&snap.norm.adj_hat);
-                    adj_dev_csr.push(pipad_kernels::upload_csr_checked(gpu, copy, Rc::clone(&shared), true)?);
+                    adj_dev_csr.push(pipad_kernels::upload_csr_checked(
+                        gpu,
+                        copy,
+                        Rc::clone(&shared),
+                        true,
+                    )?);
                     csr_adjs.push(shared);
                 }
                 (None, Vec::new())
             } else if needs_adj {
                 match plan {
                     Some(p) => {
-                        adj_dev.push(upload_sliced_checked(gpu, copy, Rc::clone(&p.overlap), true)?);
+                        adj_dev.push(upload_sliced_checked(
+                            gpu,
+                            copy,
+                            Rc::clone(&p.overlap),
+                            true,
+                        )?);
                         for e in &p.exclusives {
                             adj_dev.push(upload_sliced_checked(gpu, copy, Rc::clone(e), true)?);
                         }
@@ -199,7 +210,12 @@ impl<'r> PipadExecutor<'r> {
                         // adjacency; "overlap" degenerates to the first.
                         let mut ex = Vec::new();
                         for (_, snap, ..) in &slots {
-                            adj_dev.push(upload_sliced_checked(gpu, copy, Rc::clone(&snap.sliced), true)?);
+                            adj_dev.push(upload_sliced_checked(
+                                gpu,
+                                copy,
+                                Rc::clone(&snap.sliced),
+                                true,
+                            )?);
                             ex.push(Rc::clone(&snap.sliced));
                         }
                         (None, ex)
@@ -218,7 +234,16 @@ impl<'r> PipadExecutor<'r> {
                     a.recycle();
                     (None, Some(dev))
                 } else {
-                    (Some(upload_matrix_checked(gpu, copy, feats, true, "feature_upload")?), None)
+                    (
+                        Some(upload_matrix_checked(
+                            gpu,
+                            copy,
+                            feats,
+                            true,
+                            "feature_upload",
+                        )?),
+                        None,
+                    )
                 };
                 staged_slots.push(SlotState {
                     global,
@@ -285,7 +310,12 @@ impl<'r> PipadExecutor<'r> {
             // Figure 12 ablation: row-granular CSR kernel per member.
             let mut outs = Vec::with_capacity(size);
             for ((&x, slot), adj) in xs.iter().zip(&part.slots).zip(&part.csr_adjs) {
-                let a = tape.spmm(gpu, Rc::clone(adj), x, pipad_autograd::AggregationKernel::GeSpmm)?;
+                let a = tape.spmm(
+                    gpu,
+                    Rc::clone(adj),
+                    x,
+                    pipad_autograd::AggregationKernel::GeSpmm,
+                )?;
                 outs.push(tape.row_scale(gpu, a, Rc::clone(&slot.inv_deg))?);
             }
             return Ok(outs);
@@ -533,7 +563,16 @@ mod tests {
         // PiPAD path, S_per = 2
         let mut host = SimNanos::ZERO;
         let mut exec = PipadExecutor::stage(
-            &mut gpu, &analyzer, &catalog, &feats, 0, opts(2), None, compute, copy, &mut host,
+            &mut gpu,
+            &analyzer,
+            &catalog,
+            &feats,
+            0,
+            opts(2),
+            None,
+            compute,
+            copy,
+            &mut host,
         )
         .unwrap();
         let mut tape = Tape::new(compute);
@@ -570,7 +609,16 @@ mod tests {
             let snap = gpu.profiler().snapshot();
             let mut host = SimNanos::ZERO;
             let exec = PipadExecutor::stage(
-                gpu, &analyzer, &catalog, &feats, 0, opts(s_per), None, compute, copy, &mut host,
+                gpu,
+                &analyzer,
+                &catalog,
+                &feats,
+                0,
+                opts(s_per),
+                None,
+                compute,
+                copy,
+                &mut host,
             )
             .unwrap();
             let bytes = gpu.profiler().window(snap).h2d_bytes;
@@ -601,7 +649,16 @@ mod tests {
         // pass 1: compute + populate CPU store
         let mut host = SimNanos::ZERO;
         let mut exec = PipadExecutor::stage(
-            &mut gpu, &analyzer, &catalog, &feats, 0, o, Some(&mut reuse), compute, copy, &mut host,
+            &mut gpu,
+            &analyzer,
+            &catalog,
+            &feats,
+            0,
+            o,
+            Some(&mut reuse),
+            compute,
+            copy,
+            &mut host,
         )
         .unwrap();
         let mut tape = Tape::new(compute);
@@ -620,7 +677,16 @@ mod tests {
         // pass 2: all four covered (2 GPU-resident, 2 via PCIe), no kernels
         let snap = gpu.profiler().snapshot();
         let mut exec = PipadExecutor::stage(
-            &mut gpu, &analyzer, &catalog, &feats, 0, o, Some(&mut reuse), compute, copy, &mut host,
+            &mut gpu,
+            &analyzer,
+            &catalog,
+            &feats,
+            0,
+            o,
+            Some(&mut reuse),
+            compute,
+            copy,
+            &mut host,
         )
         .unwrap();
         let mut tape = Tape::new(compute);
@@ -650,7 +716,16 @@ mod tests {
         let feats: Vec<&Matrix> = graph.snapshots[0..4].iter().map(|s| &s.features).collect();
         let mut host = SimNanos::ZERO;
         let mut exec = PipadExecutor::stage(
-            &mut gpu, &analyzer, &catalog, &feats, 0, opts(4), None, compute, copy, &mut host,
+            &mut gpu,
+            &analyzer,
+            &catalog,
+            &feats,
+            0,
+            opts(4),
+            None,
+            compute,
+            copy,
+            &mut host,
         )
         .unwrap();
         let mut tape = Tape::new(compute);
@@ -690,7 +765,16 @@ mod tests {
             let snap = gpu.profiler().snapshot();
             let mut host = SimNanos::ZERO;
             let mut exec = PipadExecutor::stage(
-                gpu, &analyzer, &catalog, &feats, 0, opts(s_per), None, compute, copy, &mut host,
+                gpu,
+                &analyzer,
+                &catalog,
+                &feats,
+                0,
+                opts(s_per),
+                None,
+                compute,
+                copy,
+                &mut host,
             )
             .unwrap();
             let mut tape = Tape::new(compute);

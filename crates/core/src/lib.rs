@@ -55,6 +55,7 @@
 //! ```
 
 pub mod analyzer;
+pub mod checkpoint;
 pub mod exec;
 pub mod multigpu;
 pub mod prep;
@@ -63,8 +64,12 @@ pub mod trainer;
 pub mod tuner;
 
 pub use analyzer::GraphAnalyzer;
-pub use multigpu::{partition_rows, train_data_parallel, MultiGpuConfig, MultiTrainReport};
+pub use checkpoint::{
+    encode_checkpoint, restore_checkpoint, run_fingerprint, CkptInputs, RestoredState,
+    RunFingerprint,
+};
 pub use exec::PipadExecutor;
+pub use multigpu::{partition_rows, train_data_parallel, MultiGpuConfig, MultiTrainReport};
 pub use prep::{PartitionCatalog, PartitionPlan};
 pub use reuse::{CpuAggStore, GpuAggCache, InterFrameReuse};
 pub use trainer::{train_pipad, PipadConfig};

@@ -21,7 +21,9 @@ use pipad_autograd::{Tape, Var};
 use pipad_dyngraph::{DynamicGraph, FrameIter};
 use pipad_gpu_sim::{DeviceConfig, Event, Gpu, OomError, SimNanos, StreamId};
 use pipad_kernels::{upload_matrix, upload_sliced, DeviceMatrix};
-use pipad_models::{build_model, EpochReport, GnnExecutor, HostAllocStats, ModelKind, TrainingConfig};
+use pipad_models::{
+    build_model, EpochReport, GnnExecutor, HostAllocStats, ModelKind, TrainingConfig,
+};
 use pipad_sparse::SlicedCsr;
 use pipad_tensor::Matrix;
 use std::rc::Rc;
@@ -147,7 +149,13 @@ pub fn train_data_parallel(
     for gpu in gpus.iter_mut() {
         let compute = gpu.default_stream();
         let copy = gpu.create_stream();
-        models.push(build_model(gpu, model_kind, graph.feature_dim(), hidden, cfg.seed)?);
+        models.push(build_model(
+            gpu,
+            model_kind,
+            graph.feature_dim(),
+            hidden,
+            cfg.seed,
+        )?);
         streams.push((compute, copy));
     }
     assert!(
@@ -278,14 +286,11 @@ pub fn train_data_parallel(
             if epoch >= preparing {
                 allreduce_bytes_epoch += allreduce_bytes * parts as u64;
             }
-            let sync_point = gpus
-                .iter_mut()
-                .map(|g| g.synchronize())
-                .max()
-                .unwrap()
+            let sync_point = gpus.iter_mut().map(|g| g.synchronize()).max().unwrap()
                 + SimNanos::from_bytes(allreduce_bytes, mcfg.p2p_bytes_per_us);
             // Sum the scaled gradients (replicas hold identical binder order).
-            let mut summed: std::collections::HashMap<usize, Matrix> = std::collections::HashMap::new();
+            let mut summed: std::collections::HashMap<usize, Matrix> =
+                std::collections::HashMap::new();
             for device_grads in &grads {
                 for (i, g) in device_grads {
                     summed

@@ -53,11 +53,7 @@ impl PartitionCatalog {
     /// Extract overlaps for every candidate partition, charging the host
     /// lane. Partitions of one snapshot need no plan (they use the full
     /// sliced adjacency directly).
-    pub fn build(
-        gpu: &mut Gpu,
-        analyzer: &GraphAnalyzer,
-        host_cursor: &mut SimNanos,
-    ) -> Self {
+    pub fn build(gpu: &mut Gpu, analyzer: &GraphAnalyzer, host_cursor: &mut SimNanos) -> Self {
         let n = analyzer.len();
         let mut plans = HashMap::new();
         // Pass 1 (serial): enumerate work items and charge the host lane in
@@ -92,16 +88,11 @@ impl PartitionCatalog {
             let mean_edges = (total_edges as f64 / s_per as f64).max(1.0);
             let overlap_rate = (split.overlap.nnz() as f64 / mean_edges).min(1.0);
             let overlap = SlicedCsr::from_csr(&split.overlap);
-            let exclusives: Vec<SlicedCsr> = split
-                .exclusives
-                .iter()
-                .map(SlicedCsr::from_csr)
-                .collect();
+            let exclusives: Vec<SlicedCsr> =
+                split.exclusives.iter().map(SlicedCsr::from_csr).collect();
             (overlap, exclusives, overlap_rate)
         });
-        for ((s_per, start, _), (overlap, exclusives, overlap_rate)) in
-            work.iter().zip(extracted)
-        {
+        for ((s_per, start, _), (overlap, exclusives, overlap_rate)) in work.iter().zip(extracted) {
             let (s_per, start) = (*s_per, *start);
             let overlap = Rc::new(overlap);
             let exclusives: Vec<Rc<SlicedCsr>> = exclusives.into_iter().map(Rc::new).collect();
@@ -197,11 +188,8 @@ mod tests {
         for (k, excl) in plan.exclusives.iter().enumerate() {
             let mut edges = plan.overlap.to_csr().edges();
             edges.extend(excl.to_csr().edges());
-            let full = pipad_sparse::Csr::from_edges(
-                plan.overlap.n_rows(),
-                plan.overlap.n_cols(),
-                &edges,
-            );
+            let full =
+                pipad_sparse::Csr::from_edges(plan.overlap.n_rows(), plan.overlap.n_cols(), &edges);
             assert_eq!(&full, analyzer.snapshot(3 + k).norm.adj_hat.as_ref());
         }
     }

@@ -83,6 +83,15 @@ impl CpuAggStore {
         self.tracked_bytes
     }
 
+    /// Entries sorted by snapshot index — the deterministic iteration
+    /// order checkpoint encoding requires (the backing map is a
+    /// `HashMap`, whose raw order varies run to run).
+    pub fn entries_sorted(&self) -> Vec<(usize, &Matrix)> {
+        let mut v: Vec<(usize, &Matrix)> = self.store.iter().map(|(&k, m)| (k, m)).collect();
+        v.sort_by_key(|&(k, _)| k);
+        v
+    }
+
     /// Debug-build invariant: the tracked byte total must equal the sum of
     /// the stored entry sizes after every mutation.
     fn debug_check_bytes(&self) {
@@ -201,6 +210,22 @@ impl GpuAggCache {
                 .sum::<u64>(),
             "GpuAggCache byte accounting drifted"
         );
+    }
+
+    /// Visit every resident entry's host-side values in snapshot order
+    /// (checkpoint encoding).
+    pub fn for_each_host(&self, mut f: impl FnMut(usize, &Matrix)) {
+        for (&snapshot, p) in &self.entries {
+            let dm = p.borrow();
+            f(snapshot, dm.host());
+        }
+    }
+
+    /// Overwrite the hit/miss counters (checkpoint restore: the resumed
+    /// run continues the original run's statistics).
+    pub fn restore_counters(&mut self, hits: u64, misses: u64) {
+        self.hits = hits;
+        self.misses = misses;
     }
 
     /// Evict everything below `min_snapshot` (entries that left the window).

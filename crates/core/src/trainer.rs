@@ -16,14 +16,18 @@
 //!   compute on separate lanes.
 
 use crate::analyzer::GraphAnalyzer;
+use crate::checkpoint::{self, CkptInputs};
 use crate::exec::{ExecOptions, PipadExecutor};
 use crate::prep::PartitionCatalog;
 use crate::reuse::InterFrameReuse;
 use crate::tuner::{DynamicTuner, FrameProfile, OfflineTable};
 use pipad_autograd::Tape;
+use pipad_ckpt::{latest_checkpoint, write_checkpoint, Checkpoint, CheckpointPolicy};
 use pipad_dyngraph::{DynamicGraph, FrameIter};
 use pipad_gpu_sim::{ArgValue, DeviceFault, Gpu, Lane, OomError, SimNanos, TraceKind};
-use pipad_models::{build_model, EpochReport, HostAllocStats, ModelKind, TrainReport, TrainingConfig};
+use pipad_models::{
+    build_model, EpochReport, HostAllocStats, ModelKind, TrainReport, TrainingConfig,
+};
 use pipad_tensor::Matrix;
 
 /// PiPAD-specific knobs (the defaults reproduce the paper's setup).
@@ -45,6 +49,11 @@ pub struct PipadConfig {
     /// Figure 12 ablation: plain CSR with the GE-SpMM kernel, everything
     /// else unchanged.
     pub use_sliced: bool,
+    /// Checkpoint schedule. `Some` writes a checkpoint every
+    /// `every_epochs` completed epochs and restores from the newest
+    /// checkpoint in the directory on start; `None` (default) disables
+    /// both.
+    pub checkpoint: Option<CheckpointPolicy>,
 }
 
 impl Default for PipadConfig {
@@ -56,6 +65,7 @@ impl Default for PipadConfig {
             cuda_graph: true,
             gpu_cache_headroom_frac: 0.5,
             use_sliced: true,
+            checkpoint: None,
         }
     }
 }
@@ -115,7 +125,58 @@ pub fn train_pipad(
     let mut slow_frames: u32 = 0;
     let mut skipped_steps: u64 = 0;
 
-    for epoch in 0..cfg.epochs {
+    // ---- restore-on-start --------------------------------------------------
+    // The prologue above rebuilt the model, analyzer and catalog exactly as
+    // the original run did (all deterministic in the seed and the graph).
+    // Restoring overwrites parameter values in place, re-populates both
+    // reuse tiers, seeds the loop state, and finally rewinds the device
+    // clock + host cursor — erasing the prologue's only side effects on the
+    // timeline (alloc-counter advances and early-timestamp events), so the
+    // resumed epochs land on the original run's exact simulated timeline.
+    let fingerprint = checkpoint::run_fingerprint("PiPAD", model_kind, &graph.name, hidden, cfg);
+    let mut start_epoch = 0usize;
+    if let Some(policy) = &pcfg.checkpoint {
+        if let Some((ck_epoch, path)) =
+            latest_checkpoint(&policy.dir).expect("checkpoint directory unreadable")
+        {
+            let ckpt = Checkpoint::read(&path)
+                .unwrap_or_else(|e| panic!("checkpoint {} is unreadable: {e}", path.display()));
+            let restored = checkpoint::restore_checkpoint(
+                gpu,
+                &ckpt,
+                &fingerprint,
+                model.as_ref(),
+                &mut reuse,
+            )
+            .unwrap_or_else(|e| panic!("checkpoint {} failed to restore: {e}", path.display()));
+            decisions = restored.decisions;
+            frame_profiles = restored.frame_profiles;
+            frame_walls = restored.frame_walls;
+            sequential_mode = restored.sequential_mode;
+            slow_frames = restored.slow_frames;
+            skipped_steps = restored.skipped_steps;
+            steady_t0 = restored.steady_t0;
+            epochs = restored.epochs_done;
+            start_epoch = restored.next_epoch;
+            // Emitted at the *prologue* timestamp, i.e. before the clock
+            // rewind below: the marker stays outside every epoch's trace
+            // window, keeping windowed exports comparable across runs.
+            let t = gpu.now().max(host_cursor);
+            gpu.trace_mut().instant(
+                "checkpoint_restore",
+                Lane::Control,
+                t,
+                vec![
+                    ("epoch", ArgValue::U64(ck_epoch as u64)),
+                    ("next_epoch", ArgValue::U64(start_epoch as u64)),
+                ],
+            );
+            gpu.restore_clock(&restored.clock);
+            host_cursor = restored.host_cursor;
+        }
+    }
+
+    for epoch in start_epoch..cfg.epochs {
         let t0 = gpu.synchronize().max(host_cursor);
         let alloc0 = HostAllocStats::capture();
         let is_preparing = epoch < preparing;
@@ -243,12 +304,19 @@ pub fn train_pipad(
                         }
                         attempt += 1;
                     }
-                    Err(fault @ DeviceFault::Transfer(_)) => {
+                    Err(fault @ (DeviceFault::Transfer(_) | DeviceFault::Crash(_))) => {
                         gpu.release_since(mark);
                         return Err(fault);
                     }
                 }
             };
+            // Crash faults model a process kill: polled at the frame
+            // boundary, the run is abandoned as-is — no cleanup, no
+            // checkpoint — and recovery is a fresh process restoring the
+            // newest on-disk checkpoint.
+            if let Some(c) = gpu.take_crash() {
+                return Err(DeviceFault::Crash(c));
+            }
             losses.push(loss);
 
             // Entries below the next frame's start have left the window.
@@ -353,9 +421,7 @@ pub fn train_pipad(
                 .set_budget((headroom as f64 * pcfg.gpu_cache_headroom_frac) as u64);
             let tuner = DynamicTuner::new(
                 pcfg.offline_table.clone(),
-                gpu.cfg()
-                    .capacity_bytes
-                    .saturating_sub(gpu.mem().in_use()),
+                gpu.cfg().capacity_bytes.saturating_sub(gpu.mem().in_use()),
                 gpu.cfg().pcie_pinned_bytes_per_us,
                 graph.feature_dim(),
             );
@@ -366,8 +432,12 @@ pub fn train_pipad(
                 .collect();
             let t_decide = gpu.now().max(host_cursor);
             for (fi, d) in full.iter().enumerate() {
-                gpu.trace_mut()
-                    .instant("tuner_decision", Lane::Control, t_decide, d.trace_args(fi));
+                gpu.trace_mut().instant(
+                    "tuner_decision",
+                    Lane::Control,
+                    t_decide,
+                    d.trace_args(fi),
+                );
             }
             decisions = full.iter().map(|d| d.s_per).collect();
         }
@@ -395,6 +465,43 @@ pub fn train_pipad(
             sim_time: t1 - t0,
             alloc: HostAllocStats::capture().since(&alloc0),
         });
+
+        if let Some(policy) = &pcfg.checkpoint {
+            if policy.should_write(epoch) {
+                let writer = checkpoint::encode_checkpoint(&CkptInputs {
+                    fingerprint: &fingerprint,
+                    next_epoch: epoch + 1,
+                    steady_t0,
+                    sequential_mode,
+                    slow_frames,
+                    skipped_steps,
+                    clock: gpu.clock(),
+                    host_cursor,
+                    model: model.as_ref(),
+                    reuse: &reuse,
+                    decisions: &decisions,
+                    frame_profiles: &frame_profiles,
+                    frame_walls: &frame_walls,
+                    fault_stats: gpu.fault_stats(),
+                    epochs_done: &epochs,
+                    gen_config: policy.gen_config.as_ref(),
+                });
+                let (_, bytes) = write_checkpoint(&policy.dir, epoch, writer, policy.keep)
+                    .expect("checkpoint write failed");
+                // `bytes` is deterministic (every encoded field is), so the
+                // instant survives byte-exact trace comparison across
+                // uninterrupted and resumed runs.
+                gpu.trace_mut().instant(
+                    "checkpoint_write",
+                    Lane::Control,
+                    t1,
+                    vec![
+                        ("epoch", ArgValue::U64(epoch as u64)),
+                        ("bytes", ArgValue::U64(bytes)),
+                    ],
+                );
+            }
+        }
     }
 
     reuse.gpu_cache.clear(gpu);
@@ -583,6 +690,67 @@ mod tests {
         );
         assert!(r.is_err());
         assert_eq!(gpu.mem().in_use(), 0, "failed setup must not leak");
+    }
+
+    #[test]
+    fn kill_and_resume_reproduces_losses_and_final_epoch_trace() {
+        use pipad_gpu_sim::{
+            export_chrome_trace_window, last_span_window, CrashCounter, CrashPoint, FaultPlan,
+        };
+        let g = tiny_graph();
+        let cfg = TrainingConfig {
+            window: 8,
+            epochs: 6,
+            preparing_epochs: 2,
+            lr: 0.01,
+            seed: 3,
+        };
+        let base = std::env::temp_dir().join(format!("pipad-resume-unit-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&base);
+        let pcfg_for = |dir: &str| PipadConfig {
+            checkpoint: Some(CheckpointPolicy::new(base.join(dir), 2)),
+            ..Default::default()
+        };
+
+        // Reference: never interrupted (checkpointing on, own directory, so
+        // both runs emit identical checkpoint_write instants).
+        let mut g1 = Gpu::new(DeviceConfig::v100());
+        let reference =
+            train_pipad(&mut g1, ModelKind::TGcn, &g, 8, &cfg, &pcfg_for("ref")).unwrap();
+        let total_launches = g1.op_counters().launches;
+
+        // Kill at ~70% of the reference's launch stream (mid steady epoch).
+        let mut g2 = Gpu::new(DeviceConfig::v100());
+        g2.install_faults(FaultPlan {
+            crash: Some(CrashPoint {
+                counter: CrashCounter::Launches,
+                at: total_launches * 7 / 10,
+            }),
+            ..Default::default()
+        });
+        let err = train_pipad(&mut g2, ModelKind::TGcn, &g, 8, &cfg, &pcfg_for("killed"))
+            .expect_err("crash fault must abort the run");
+        assert!(matches!(err, DeviceFault::Crash(_)), "{err}");
+
+        // Fresh "process": restore from the killed run's newest checkpoint.
+        let mut g3 = Gpu::new(DeviceConfig::v100());
+        let resumed =
+            train_pipad(&mut g3, ModelKind::TGcn, &g, 8, &cfg, &pcfg_for("killed")).unwrap();
+
+        // Losses bit-identical across all epochs.
+        let a: Vec<u32> = reference.losses().iter().map(|l| l.to_bits()).collect();
+        let b: Vec<u32> = resumed.losses().iter().map(|l| l.to_bits()).collect();
+        assert_eq!(a, b, "kill-and-resume changed the loss trajectory");
+
+        // Final steady epoch's trace window byte-identical.
+        let wa = last_span_window(g1.trace(), "epoch").unwrap();
+        let wb = last_span_window(g3.trace(), "epoch").unwrap();
+        assert_eq!(wa, wb, "final epoch landed on a different timeline");
+        let ea = export_chrome_trace_window(g1.trace(), 1, wa.0, wa.1);
+        let eb = export_chrome_trace_window(g3.trace(), 1, wb.0, wb.1);
+        assert_eq!(ea, eb, "final epoch trace window differs");
+
+        std::fs::remove_dir_all(&base).unwrap();
     }
 
     #[test]

@@ -65,7 +65,8 @@ impl OfflineTable {
         let Some(s_idx) = S_PER_OPTIONS.iter().position(|&s| s == s_per) else {
             return 1.0;
         };
-        let v = self.speedup[s_idx][Self::or_bucket(or)] * self.dim_scale[Self::dim_bucket(feat_dim)];
+        let v =
+            self.speedup[s_idx][Self::or_bucket(or)] * self.dim_scale[Self::dim_bucket(feat_dim)];
         v.max(1.0)
     }
 }

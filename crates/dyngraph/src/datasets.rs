@@ -270,13 +270,10 @@ mod tests {
     fn youtube_is_hypersparse_epinions_dense() {
         let yt = DatasetId::Youtube.gen_config(Scale::Tiny).generate();
         let ep = DatasetId::Epinions.gen_config(Scale::Tiny).generate();
-        let density = |g: &crate::DynamicGraph| {
-            g.snapshots[0].n_edges() as f64 / g.n() as f64
-        };
+        let density = |g: &crate::DynamicGraph| g.snapshots[0].n_edges() as f64 / g.n() as f64;
         assert!(density(&ep) > 4.0 * density(&yt));
         // Youtube's signature: lots of empty rows
-        let empty_frac =
-            yt.snapshots[0].adj.empty_rows() as f64 / yt.n() as f64;
+        let empty_frac = yt.snapshots[0].adj.empty_rows() as f64 / yt.n() as f64;
         assert!(empty_frac > 0.3, "empty_frac={empty_frac}");
     }
 

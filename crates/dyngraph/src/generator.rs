@@ -15,7 +15,7 @@ use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
 
 /// Parameters of one synthetic dynamic graph.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct GenConfig {
     /// Human-readable name.
     pub name: String,
@@ -59,7 +59,8 @@ impl GenConfig {
         for t in 0..self.n_snapshots {
             if t > 0 {
                 self.evolve(&mut rng, &sampler, &mut edge_set, &mut edge_vec);
-                features = features.map(|x| 0.9 * x) // decay toward zero…
+                features = features
+                    .map(|x| 0.9 * x) // decay toward zero…
                     .zip(
                         &Matrix::from_fn(self.n_vertices, self.feature_dim, |_, _| {
                             rng.gen_range(-1.0..=1.0)
@@ -257,14 +258,8 @@ mod tests {
         let mut c2 = cfg();
         c2.skew = 0.0;
         let flat = c2.generate();
-        let max_deg = |g: &DynamicGraph| {
-            g.snapshots[0]
-                .adj
-                .degrees()
-                .into_iter()
-                .max()
-                .unwrap_or(0)
-        };
+        let max_deg =
+            |g: &DynamicGraph| g.snapshots[0].adj.degrees().into_iter().max().unwrap_or(0);
         assert!(max_deg(&skewed) > 2 * max_deg(&flat));
     }
 

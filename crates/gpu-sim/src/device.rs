@@ -15,7 +15,9 @@
 
 use crate::config::DeviceConfig;
 use crate::cost::KernelCost;
-use crate::faults::{FaultPlan, FaultSession, FaultStats, OpCounters, TransferError};
+use crate::faults::{
+    CrashCounter, CrashError, FaultPlan, FaultSession, FaultStats, OpCounters, TransferError,
+};
 use crate::memory::{BufferId, DeviceMemory, OomError};
 use crate::profiler::{Profiler, Sample, SampleKind};
 use crate::schedule::schedule_blocks;
@@ -129,6 +131,15 @@ impl Gpu {
         }
     }
 
+    /// Consume the crash armed when an op counter crossed the plan's
+    /// [`crate::faults::CrashPoint`], if any. The trainer polls this at
+    /// frame boundaries and abandons the run — no cleanup, no checkpoint —
+    /// modeling a process kill whose recovery is a fresh process restoring
+    /// the last on-disk checkpoint.
+    pub fn take_crash(&mut self) -> Option<CrashError> {
+        self.faults.as_mut().and_then(|f| f.crash_armed.take())
+    }
+
     /// Retry budget recovery code should use per logical copy op.
     pub fn transfer_retry_budget(&self) -> u32 {
         self.faults.as_ref().map_or(3, |f| f.max_transfer_retries)
@@ -136,7 +147,9 @@ impl Gpu {
 
     /// Base simulated backoff between transfer retries, in nanoseconds.
     pub fn transfer_backoff_ns(&self) -> u64 {
-        self.faults.as_ref().map_or(2_000, |f| f.transfer_backoff_ns)
+        self.faults
+            .as_ref()
+            .map_or(2_000, |f| f.transfer_backoff_ns)
     }
 
     /// The device configuration.
@@ -204,6 +217,7 @@ impl Gpu {
         let t = self.now();
         let index = self.alloc_attempts;
         self.alloc_attempts += 1;
+        self.check_crash_counter(CrashCounter::Allocs, index, t);
         let in_use = self.mem.in_use();
         let injected = self
             .faults
@@ -316,9 +330,32 @@ impl Gpu {
         (balanced.scale(num, den), balanced, (num, den))
     }
 
+    /// Arm (and trace) the plan's crash point if `index` on `counter`
+    /// crossed it; the armed crash is observed later via
+    /// [`Gpu::take_crash`].
+    fn check_crash_counter(&mut self, counter: CrashCounter, index: u64, t: SimNanos) {
+        let fired = self
+            .faults
+            .as_mut()
+            .is_some_and(|f| f.check_crash(counter, index));
+        if fired {
+            self.tracer.fault(
+                "fault_injected",
+                Lane::Control,
+                t,
+                vec![
+                    ("kind", ArgValue::Str("crash".to_string())),
+                    ("counter", ArgValue::Str(counter.name().to_string())),
+                    ("index", ArgValue::U64(index)),
+                ],
+            );
+        }
+    }
+
     fn enqueue_kernel(&mut self, stream: StreamId, cost: &KernelCost, overhead: SimNanos) -> Event {
         let launch_index = self.launches;
         self.launches += 1;
+        self.check_crash_counter(CrashCounter::Launches, launch_index, self.now());
         let (mut busy, balanced, (imb_num, imb_den)) = self.kernel_busy_ratio(cost);
         let mut straggler_milli = None;
         let mut poisoned = false;
@@ -514,6 +551,7 @@ impl Gpu {
     pub fn next_copy_op(&mut self) -> u64 {
         let op = self.copy_ops;
         self.copy_ops += 1;
+        self.check_crash_counter(CrashCounter::CopyOps, op, self.now());
         op
     }
 
@@ -636,7 +674,12 @@ impl Gpu {
     /// Record a host-side operation of length `dur` starting no earlier than
     /// `after`; returns its (start, end). The caller owns host-lane cursors;
     /// the profiler only needs the interval for Figure 3's "other" share.
-    pub fn host_op(&mut self, name: &'static str, after: SimNanos, dur: SimNanos) -> (SimNanos, SimNanos) {
+    pub fn host_op(
+        &mut self,
+        name: &'static str,
+        after: SimNanos,
+        dur: SimNanos,
+    ) -> (SimNanos, SimNanos) {
         let start = after;
         let end = start + dur;
         self.profiler.record(Sample {
@@ -649,6 +692,53 @@ impl Gpu {
             .span(name, TraceKind::HostOp, Lane::Host, start, end, vec![]);
         (start, end)
     }
+
+    // ---- checkpoint support ----------------------------------------------
+
+    /// Snapshot the deterministic clock: every lane/stream cursor plus the
+    /// monotonic op counters. Together with the trainer's host cursor this
+    /// is the complete timeline state a checkpoint must carry for a
+    /// resumed run to continue on the *same* simulated timeline.
+    pub fn clock(&self) -> DeviceClock {
+        DeviceClock {
+            compute: self.compute_cursor,
+            h2d: self.h2d_cursor,
+            d2h: self.d2h_cursor,
+            streams: self.streams.clone(),
+            counters: self.op_counters(),
+        }
+    }
+
+    /// Restore a [`DeviceClock`] snapshot, overwriting every cursor and op
+    /// counter. Intended for checkpoint restore on a *fresh* device right
+    /// after the restore prologue re-created the standing allocations: the
+    /// prologue only advanced the alloc counter and early timestamps, and
+    /// this call erases both perturbations so subsequent ops land on
+    /// exactly the timeline the original run would have produced.
+    pub fn restore_clock(&mut self, clock: &DeviceClock) {
+        self.compute_cursor = clock.compute;
+        self.h2d_cursor = clock.h2d;
+        self.d2h_cursor = clock.d2h;
+        self.streams = clock.streams.clone();
+        self.alloc_attempts = clock.counters.allocs;
+        self.copy_ops = clock.counters.copy_ops;
+        self.launches = clock.counters.launches;
+    }
+}
+
+/// The device's deterministic timeline state (see [`Gpu::clock`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DeviceClock {
+    /// Compute-lane cursor.
+    pub compute: SimNanos,
+    /// H2D copy-engine cursor.
+    pub h2d: SimNanos,
+    /// D2H copy-engine cursor.
+    pub d2h: SimNanos,
+    /// Per-stream cursors (index = stream id).
+    pub streams: Vec<SimNanos>,
+    /// Monotonic op counters.
+    pub counters: OpCounters,
 }
 
 #[cfg(test)]
@@ -689,7 +779,7 @@ mod tests {
         let copy_stream = g.create_stream();
         let k = g.launch(compute_stream, small_kernel());
         let t = g.h2d(copy_stream, 1_200_000, true); // 100us + latency
-        // The copy started at 0, concurrent with the kernel.
+                                                     // The copy started at 0, concurrent with the kernel.
         let b = g.profiler().full();
         assert!(b.h2d_time > SimNanos::ZERO);
         let copy_sample = &g.profiler().samples()[1];
@@ -841,7 +931,9 @@ mod tests {
         });
         let s = g.default_stream();
         let op = g.next_copy_op();
-        let err = g.try_copy(op, s, 1 << 20, true, TransferDir::H2D).unwrap_err();
+        let err = g
+            .try_copy(op, s, 1 << 20, true, TransferDir::H2D)
+            .unwrap_err();
         assert_eq!(err.op_index, 0);
         let after_fail = g.now();
         assert!(after_fail > SimNanos::ZERO, "failed DMA still took time");
@@ -904,6 +996,50 @@ mod tests {
         assert_eq!(g.mem().in_use(), 100);
         g.free(keep);
         assert_eq!(g.release_since(mark), (0, 0));
+    }
+
+    #[test]
+    fn crash_point_arms_on_the_chosen_launch_and_is_consumed() {
+        let mut g = gpu();
+        g.install_faults(FaultPlan {
+            crash: Some(crate::faults::CrashPoint {
+                counter: CrashCounter::Launches,
+                at: 1,
+            }),
+            ..FaultPlan::default()
+        });
+        let s = g.default_stream();
+        g.launch(s, small_kernel());
+        assert!(g.take_crash().is_none());
+        g.launch(s, small_kernel());
+        let e = g.take_crash().expect("crash armed");
+        assert_eq!((e.counter, e.at), (CrashCounter::Launches, 1));
+        assert!(g.take_crash().is_none(), "consumed");
+        assert_eq!(g.fault_stats().crash_injected, 1);
+        assert!(g
+            .trace()
+            .events()
+            .iter()
+            .any(|e| e.name == "fault_injected" && e.kind == TraceKind::Fault));
+    }
+
+    #[test]
+    fn clock_snapshot_round_trips_onto_a_fresh_device() {
+        let mut g = gpu();
+        let s = g.default_stream();
+        let c = g.create_stream();
+        g.launch(s, small_kernel());
+        g.h2d(c, 1 << 20, true);
+        let _ = g.alloc(64).unwrap();
+        let clock = g.clock();
+
+        let mut fresh = gpu();
+        fresh.create_stream();
+        let _ = fresh.alloc(64).unwrap(); // restore-prologue noise
+        fresh.restore_clock(&clock);
+        assert_eq!(fresh.clock(), clock);
+        assert_eq!(fresh.now(), g.now());
+        assert_eq!(fresh.op_counters(), g.op_counters());
     }
 
     #[test]

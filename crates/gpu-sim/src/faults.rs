@@ -26,6 +26,12 @@
 //! * **Poison** — arm a NaN payload on a chosen kernel launch
 //!   ([`FaultPlan::poison_launches`]); the autograd tape replaces that
 //!   kernel's output with NaNs, which propagate to the loss.
+//! * **Crash** — kill the training process when a chosen op counter
+//!   reaches a threshold ([`FaultPlan::crash`]); the device arms the
+//!   crash and the trainer observes it via `Gpu::take_crash` at the next
+//!   frame boundary, abandoning the run exactly as a real `SIGKILL`
+//!   between frames would. Recovery is *external*: restart and restore
+//!   from the last checkpoint (`pipad-ckpt`).
 //!
 //! Injection is pure bookkeeping on the simulated timeline: no wall clock,
 //! no RNG at injection time (plans may be *generated* from a seed via
@@ -62,6 +68,38 @@ pub struct StragglerRange {
     pub multiplier_milli: u64,
 }
 
+/// Which monotonic device op counter a [`CrashPoint`] watches.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CrashCounter {
+    /// Allocation attempts ([`OpCounters::allocs`]).
+    Allocs,
+    /// Logical copy-engine operations ([`OpCounters::copy_ops`]).
+    CopyOps,
+    /// Kernel launches ([`OpCounters::launches`]).
+    Launches,
+}
+
+impl CrashCounter {
+    /// Stable lowercase name used by the JSON codec.
+    pub fn name(&self) -> &'static str {
+        match self {
+            CrashCounter::Allocs => "allocs",
+            CrashCounter::CopyOps => "copy_ops",
+            CrashCounter::Launches => "launches",
+        }
+    }
+}
+
+/// A process-kill point addressed by op counter: the crash arms when the
+/// chosen counter reaches `at` (i.e. on the op with index `at`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CrashPoint {
+    /// The op counter being watched.
+    pub counter: CrashCounter,
+    /// Op index that triggers the crash (fires once).
+    pub at: u64,
+}
+
 /// A deterministic, serializable fault schedule for one device.
 ///
 /// Plans are plain data: build one by hand for a targeted scenario, or
@@ -86,6 +124,8 @@ pub struct FaultPlan {
     pub straggler_ranges: Vec<StragglerRange>,
     /// Kernel-launch indices whose output is poisoned with NaNs.
     pub poison_launches: Vec<u64>,
+    /// Kill the process when an op counter reaches a threshold (one-shot).
+    pub crash: Option<CrashPoint>,
 }
 
 impl Default for FaultPlan {
@@ -99,6 +139,7 @@ impl Default for FaultPlan {
             transfer_backoff_ns: 2_000,
             straggler_ranges: Vec::new(),
             poison_launches: Vec::new(),
+            crash: None,
         }
     }
 }
@@ -126,6 +167,7 @@ impl FaultPlan {
             && self.transfer_faults.is_empty()
             && self.straggler_ranges.is_empty()
             && self.poison_launches.is_empty()
+            && self.crash.is_none()
     }
 
     /// Derive a pseudo-random plan from `seed`. The mapping is a pure
@@ -224,10 +266,372 @@ impl FaultPlan {
         }
         let _ = write!(
             out,
-            "],\"poison_launches\":{}}}",
+            "],\"poison_launches\":{}",
             fmt_u64s(&self.poison_launches)
         );
+        match self.crash {
+            Some(c) => {
+                let _ = write!(
+                    out,
+                    ",\"crash\":{{\"counter\":\"{}\",\"at\":{}}}",
+                    c.counter.name(),
+                    c.at
+                );
+            }
+            None => out.push_str(",\"crash\":null"),
+        }
+        out.push('}');
         out
+    }
+
+    /// Parse a plan back from the JSON [`FaultPlan::to_json`] emits, so
+    /// chaos plans can be saved to disk and replayed. The parser is a
+    /// minimal hand-rolled recursive descent (the `compat/serde` stand-in
+    /// does no real deserialization); it accepts the fields in any order,
+    /// keeps full `u64` precision, and returns a typed error — never
+    /// panics — on malformed input.
+    pub fn from_json(s: &str) -> Result<FaultPlan, FaultPlanParseError> {
+        let mut p = JsonParser::new(s);
+        let mut plan = FaultPlan::default();
+        p.skip_ws();
+        p.expect(b'{')?;
+        p.skip_ws();
+        if !p.eat(b'}') {
+            loop {
+                p.skip_ws();
+                let key = p.parse_string()?;
+                p.skip_ws();
+                p.expect(b':')?;
+                p.skip_ws();
+                match key.as_str() {
+                    "seed" => plan.seed = p.parse_u64()?,
+                    "oom_at_alloc" => plan.oom_at_alloc = p.parse_u64_array()?,
+                    "oom_usage_threshold" => {
+                        plan.oom_usage_threshold = if p.eat_null() {
+                            None
+                        } else {
+                            Some(p.parse_u64()?)
+                        }
+                    }
+                    "transfer_faults" => plan.transfer_faults = p.parse_transfer_faults()?,
+                    "max_transfer_retries" => {
+                        plan.max_transfer_retries = p
+                            .parse_u64()?
+                            .try_into()
+                            .map_err(|_| p.err("max_transfer_retries out of u32 range"))?
+                    }
+                    "transfer_backoff_ns" => plan.transfer_backoff_ns = p.parse_u64()?,
+                    "straggler_ranges" => plan.straggler_ranges = p.parse_straggler_ranges()?,
+                    "poison_launches" => plan.poison_launches = p.parse_u64_array()?,
+                    "crash" => {
+                        plan.crash = if p.eat_null() {
+                            None
+                        } else {
+                            Some(p.parse_crash_point()?)
+                        }
+                    }
+                    _ => return Err(p.err("unknown fault-plan field")),
+                }
+                p.skip_ws();
+                if p.eat(b',') {
+                    continue;
+                }
+                p.expect(b'}')?;
+                break;
+            }
+        }
+        p.skip_ws();
+        if !p.at_end() {
+            return Err(p.err("trailing bytes after plan object"));
+        }
+        Ok(plan)
+    }
+}
+
+/// Typed error for [`FaultPlan::from_json`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultPlanParseError {
+    /// Byte offset the parser stopped at.
+    pub pos: usize,
+    /// What was expected there.
+    pub msg: &'static str,
+}
+
+impl fmt::Display for FaultPlanParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "fault-plan JSON parse error at byte {}: {}",
+            self.pos, self.msg
+        )
+    }
+}
+
+impl std::error::Error for FaultPlanParseError {}
+
+/// Minimal JSON reader over the subset `to_json` emits (objects, arrays,
+/// strings without escapes, unsigned integers, `null`).
+struct JsonParser<'a> {
+    s: &'a [u8],
+    i: usize,
+}
+
+impl<'a> JsonParser<'a> {
+    fn new(s: &'a str) -> Self {
+        JsonParser {
+            s: s.as_bytes(),
+            i: 0,
+        }
+    }
+
+    fn err(&self, msg: &'static str) -> FaultPlanParseError {
+        FaultPlanParseError { pos: self.i, msg }
+    }
+
+    fn at_end(&self) -> bool {
+        self.i >= self.s.len()
+    }
+
+    fn skip_ws(&mut self) {
+        while self.s.get(self.i).is_some_and(|b| b.is_ascii_whitespace()) {
+            self.i += 1;
+        }
+    }
+
+    fn eat(&mut self, b: u8) -> bool {
+        if self.s.get(self.i) == Some(&b) {
+            self.i += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), FaultPlanParseError> {
+        if self.eat(b) {
+            Ok(())
+        } else {
+            Err(self.err(match b {
+                b'{' => "expected '{'",
+                b'}' => "expected '}'",
+                b':' => "expected ':'",
+                b'[' => "expected '['",
+                _ => "unexpected byte",
+            }))
+        }
+    }
+
+    fn eat_null(&mut self) -> bool {
+        if self.s[self.i..].starts_with(b"null") {
+            self.i += 4;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, FaultPlanParseError> {
+        if !self.eat(b'"') {
+            return Err(self.err("expected string"));
+        }
+        let start = self.i;
+        while let Some(&b) = self.s.get(self.i) {
+            if b == b'"' {
+                let out = std::str::from_utf8(&self.s[start..self.i])
+                    .map_err(|_| self.err("invalid UTF-8 in string"))?
+                    .to_string();
+                self.i += 1;
+                return Ok(out);
+            }
+            if b == b'\\' {
+                return Err(self.err("escapes unsupported in fault-plan strings"));
+            }
+            self.i += 1;
+        }
+        Err(self.err("unterminated string"))
+    }
+
+    /// Unsigned integer with full `u64` range (digits kept raw until the
+    /// checked fold, so `u64::MAX` survives the round trip).
+    fn parse_u64(&mut self) -> Result<u64, FaultPlanParseError> {
+        let start = self.i;
+        while self.s.get(self.i).is_some_and(|b| b.is_ascii_digit()) {
+            self.i += 1;
+        }
+        if self.i == start {
+            return Err(self.err("expected unsigned integer"));
+        }
+        let mut v: u64 = 0;
+        for &b in &self.s[start..self.i] {
+            v = v
+                .checked_mul(10)
+                .and_then(|v| v.checked_add((b - b'0') as u64))
+                .ok_or(FaultPlanParseError {
+                    pos: start,
+                    msg: "integer out of u64 range",
+                })?;
+        }
+        Ok(v)
+    }
+
+    fn parse_u64_array(&mut self) -> Result<Vec<u64>, FaultPlanParseError> {
+        self.expect(b'[')?;
+        let mut out = Vec::new();
+        self.skip_ws();
+        if self.eat(b']') {
+            return Ok(out);
+        }
+        loop {
+            self.skip_ws();
+            out.push(self.parse_u64()?);
+            self.skip_ws();
+            if self.eat(b',') {
+                continue;
+            }
+            if self.eat(b']') {
+                return Ok(out);
+            }
+            return Err(self.err("expected ',' or ']'"));
+        }
+    }
+
+    /// One `{"k":v,...}` object with only unsigned-integer values; calls
+    /// `set(key, value)` per field.
+    fn parse_uint_object(
+        &mut self,
+        mut set: impl FnMut(&str, u64) -> bool,
+    ) -> Result<(), FaultPlanParseError> {
+        self.expect(b'{')?;
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let v = self.parse_u64()?;
+            if !set(&key, v) {
+                return Err(self.err("unknown field in object"));
+            }
+            self.skip_ws();
+            if self.eat(b',') {
+                continue;
+            }
+            self.expect(b'}')?;
+            return Ok(());
+        }
+    }
+
+    fn parse_object_array<T>(
+        &mut self,
+        mut one: impl FnMut(&mut Self) -> Result<T, FaultPlanParseError>,
+    ) -> Result<Vec<T>, FaultPlanParseError> {
+        self.expect(b'[')?;
+        let mut out = Vec::new();
+        self.skip_ws();
+        if self.eat(b']') {
+            return Ok(out);
+        }
+        loop {
+            self.skip_ws();
+            out.push(one(self)?);
+            self.skip_ws();
+            if self.eat(b',') {
+                continue;
+            }
+            if self.eat(b']') {
+                return Ok(out);
+            }
+            return Err(self.err("expected ',' or ']'"));
+        }
+    }
+
+    fn parse_transfer_faults(&mut self) -> Result<Vec<TransferFault>, FaultPlanParseError> {
+        self.parse_object_array(|p| {
+            let mut f = TransferFault { op: 0, failures: 0 };
+            let mut bad_failures = false;
+            p.parse_uint_object(|k, v| match k {
+                "op" => {
+                    f.op = v;
+                    true
+                }
+                "failures" => match u32::try_from(v) {
+                    Ok(v) => {
+                        f.failures = v;
+                        true
+                    }
+                    Err(_) => {
+                        bad_failures = true;
+                        true
+                    }
+                },
+                _ => false,
+            })?;
+            if bad_failures {
+                return Err(p.err("failures out of u32 range"));
+            }
+            Ok(f)
+        })
+    }
+
+    fn parse_straggler_ranges(&mut self) -> Result<Vec<StragglerRange>, FaultPlanParseError> {
+        self.parse_object_array(|p| {
+            let mut r = StragglerRange {
+                from: 0,
+                to: 0,
+                multiplier_milli: 0,
+            };
+            p.parse_uint_object(|k, v| match k {
+                "from" => {
+                    r.from = v;
+                    true
+                }
+                "to" => {
+                    r.to = v;
+                    true
+                }
+                "multiplier_milli" => {
+                    r.multiplier_milli = v;
+                    true
+                }
+                _ => false,
+            })?;
+            Ok(r)
+        })
+    }
+
+    fn parse_crash_point(&mut self) -> Result<CrashPoint, FaultPlanParseError> {
+        self.expect(b'{')?;
+        let mut counter = None;
+        let mut at = None;
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            match key.as_str() {
+                "counter" => {
+                    counter = Some(match self.parse_string()?.as_str() {
+                        "allocs" => CrashCounter::Allocs,
+                        "copy_ops" => CrashCounter::CopyOps,
+                        "launches" => CrashCounter::Launches,
+                        _ => return Err(self.err("unknown crash counter")),
+                    })
+                }
+                "at" => at = Some(self.parse_u64()?),
+                _ => return Err(self.err("unknown field in crash point")),
+            }
+            self.skip_ws();
+            if self.eat(b',') {
+                continue;
+            }
+            self.expect(b'}')?;
+            break;
+        }
+        match (counter, at) {
+            (Some(counter), Some(at)) => Ok(CrashPoint { counter, at }),
+            _ => Err(self.err("crash point needs both counter and at")),
+        }
     }
 }
 
@@ -254,12 +658,18 @@ pub struct FaultStats {
     pub straggler_injected: u64,
     /// Kernel launches whose output was poisoned.
     pub poison_injected: u64,
+    /// Crash points fired (0 or 1 per plan).
+    pub crash_injected: u64,
 }
 
 impl FaultStats {
     /// Total injections across all kinds.
     pub fn total(&self) -> u64 {
-        self.oom_injected + self.transfer_injected + self.straggler_injected + self.poison_injected
+        self.oom_injected
+            + self.transfer_injected
+            + self.straggler_injected
+            + self.poison_injected
+            + self.crash_injected
     }
 }
 
@@ -280,6 +690,11 @@ pub(crate) struct FaultSession {
     /// Set when a poisoned launch fires; consumed by the autograd layer via
     /// `Gpu::take_poison_pending`.
     pub(crate) poison_armed: bool,
+    /// Crash point still pending (one-shot).
+    crash_pending: Option<CrashPoint>,
+    /// Set when the crash point fires; consumed by the trainer via
+    /// `Gpu::take_crash`.
+    pub(crate) crash_armed: Option<CrashError>,
     plan: FaultPlan,
 }
 
@@ -301,6 +716,8 @@ impl FaultSession {
             transfer_backoff_ns: plan.transfer_backoff_ns,
             stats: FaultStats::default(),
             poison_armed: false,
+            crash_pending: plan.crash,
+            crash_armed: None,
             plan,
         }
     }
@@ -363,7 +780,49 @@ impl FaultSession {
             false
         }
     }
+
+    /// Arm the crash if op `index` on `counter` reached the pending crash
+    /// point (one-shot). Returns `true` when the crash fires on this op.
+    pub(crate) fn check_crash(&mut self, counter: CrashCounter, index: u64) -> bool {
+        match self.crash_pending {
+            Some(c) if c.counter == counter && index >= c.at => {
+                self.crash_pending = None;
+                self.stats.crash_injected += 1;
+                self.crash_armed = Some(CrashError {
+                    counter: c.counter,
+                    at: c.at,
+                });
+                true
+            }
+            _ => false,
+        }
+    }
 }
+
+/// An injected process kill: the op counter named in the plan's
+/// [`CrashPoint`] reached its threshold. The trainer abandons the run
+/// without cleanup; recovery happens out of process, by restoring the
+/// last checkpoint.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CrashError {
+    /// The op counter that triggered the crash.
+    pub counter: CrashCounter,
+    /// The op index it fired at.
+    pub at: u64,
+}
+
+impl fmt::Display for CrashError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "injected crash: {} counter reached {}",
+            self.counter.name(),
+            self.at
+        )
+    }
+}
+
+impl std::error::Error for CrashError {}
 
 /// A copy-engine operation that failed past its retry budget.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -401,6 +860,8 @@ pub enum DeviceFault {
     Oom(OomError),
     /// A copy-engine op failed past its retry budget.
     Transfer(TransferError),
+    /// An injected crash killed the trainer mid-run.
+    Crash(CrashError),
 }
 
 impl From<OomError> for DeviceFault {
@@ -415,11 +876,18 @@ impl From<TransferError> for DeviceFault {
     }
 }
 
+impl From<CrashError> for DeviceFault {
+    fn from(e: CrashError) -> Self {
+        DeviceFault::Crash(e)
+    }
+}
+
 impl fmt::Display for DeviceFault {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             DeviceFault::Oom(e) => e.fmt(f),
             DeviceFault::Transfer(e) => e.fmt(f),
+            DeviceFault::Crash(e) => e.fmt(f),
         }
     }
 }
@@ -469,6 +937,93 @@ mod tests {
             crate::trace::validate_json(&plan.to_json()).unwrap();
         }
         crate::trace::validate_json(&FaultPlan::none().to_json()).unwrap();
+    }
+
+    #[test]
+    fn json_round_trips() {
+        // Seeded plans plus hand-built corner cases (u64::MAX precision,
+        // crash points on every counter, empty plan).
+        let mut plans: Vec<FaultPlan> = (0..32u64).map(FaultPlan::seeded).collect();
+        plans.push(FaultPlan::none());
+        plans.push(FaultPlan {
+            seed: u64::MAX,
+            oom_at_alloc: vec![0, u64::MAX],
+            oom_usage_threshold: Some(u64::MAX),
+            transfer_faults: vec![TransferFault {
+                op: u64::MAX,
+                failures: u32::MAX,
+            }],
+            max_transfer_retries: u32::MAX,
+            transfer_backoff_ns: u64::MAX,
+            straggler_ranges: vec![StragglerRange {
+                from: u64::MAX - 1,
+                to: u64::MAX,
+                multiplier_milli: u64::MAX,
+            }],
+            poison_launches: vec![u64::MAX],
+            crash: Some(CrashPoint {
+                counter: CrashCounter::Allocs,
+                at: u64::MAX,
+            }),
+        });
+        for counter in [
+            CrashCounter::Allocs,
+            CrashCounter::CopyOps,
+            CrashCounter::Launches,
+        ] {
+            plans.push(FaultPlan {
+                crash: Some(CrashPoint { counter, at: 17 }),
+                ..FaultPlan::default()
+            });
+        }
+        for plan in &plans {
+            let json = plan.to_json();
+            let back = FaultPlan::from_json(&json).unwrap();
+            assert_eq!(&back, plan, "round trip through {json}");
+            assert_eq!(back.to_json(), json);
+        }
+    }
+
+    #[test]
+    fn from_json_rejects_malformed_input_without_panicking() {
+        for bad in [
+            "",
+            "{",
+            "null",
+            "{\"seed\":}",
+            "{\"seed\":1,}",
+            "{\"seed\":18446744073709551616}", // u64::MAX + 1
+            "{\"unknown_field\":1}",
+            "{\"crash\":{\"counter\":\"sideways\",\"at\":1}}",
+            "{\"crash\":{\"counter\":\"allocs\"}}",
+            "{\"seed\":1} trailing",
+        ] {
+            assert!(FaultPlan::from_json(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn crash_point_fires_once_on_its_counter() {
+        let mut s = FaultSession::new(FaultPlan {
+            crash: Some(CrashPoint {
+                counter: CrashCounter::Launches,
+                at: 5,
+            }),
+            ..FaultPlan::default()
+        });
+        assert!(!s.check_crash(CrashCounter::Allocs, 5), "wrong counter");
+        assert!(!s.check_crash(CrashCounter::Launches, 4));
+        assert!(s.check_crash(CrashCounter::Launches, 5));
+        assert_eq!(
+            s.crash_armed,
+            Some(CrashError {
+                counter: CrashCounter::Launches,
+                at: 5
+            })
+        );
+        assert!(!s.check_crash(CrashCounter::Launches, 6), "one-shot");
+        assert_eq!(s.stats.crash_injected, 1);
+        assert_eq!(s.stats.total(), 1);
     }
 
     #[test]

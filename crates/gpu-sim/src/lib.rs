@@ -61,9 +61,10 @@ mod trace;
 
 pub use config::DeviceConfig;
 pub use cost::{feature_row_access, AccessShape, KernelCategory, KernelCost, VectorWidth};
-pub use device::{Event, Gpu, StreamId, TransferDir};
+pub use device::{DeviceClock, Event, Gpu, StreamId, TransferDir};
 pub use faults::{
-    DeviceFault, FaultPlan, FaultStats, OpCounters, StragglerRange, TransferError, TransferFault,
+    CrashCounter, CrashError, CrashPoint, DeviceFault, FaultPlan, FaultPlanParseError, FaultStats,
+    OpCounters, StragglerRange, TransferError, TransferFault,
 };
 pub use graph_exec::{CudaGraph, GraphBuilder};
 pub use memory::{BufferId, DeviceMemory, OomError};
@@ -71,6 +72,6 @@ pub use profiler::{Breakdown, ProfSnapshot, Profiler, Sample, SampleKind};
 pub use schedule::{ratio_milli, schedule_blocks, BalanceReport};
 pub use time::SimNanos;
 pub use trace::{
-    export_chrome_trace, json_escape, trace_text_summary, validate_json, ArgValue, Lane,
-    TraceEvent, TraceKind, Tracer,
+    export_chrome_trace, export_chrome_trace_window, json_escape, last_span_window,
+    trace_text_summary, validate_json, ArgValue, Lane, TraceEvent, TraceKind, Tracer,
 };

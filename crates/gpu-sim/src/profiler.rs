@@ -232,8 +232,7 @@ impl Profiler {
                     warp_efficiency_milli,
                     balanced,
                 } => {
-                    *out
-                        .compute_by_category
+                    *out.compute_by_category
                         .entry(category.label())
                         .or_insert(SimNanos::ZERO) += dur;
                     out.compute_total += dur;
@@ -265,13 +264,10 @@ impl Profiler {
                 }
             }
         }
-        out.warp_efficiency_milli = eff_weight
-            .checked_div(eff_time)
-            .map_or(1000, |v| v as u32);
+        out.warp_efficiency_milli = eff_weight.checked_div(eff_time).map_or(1000, |v| v as u32);
         let span_ns = out.span.as_nanos().max(1);
-        out.sm_utilization_milli =
-            ((union_time(&mut kernel_intervals).as_nanos() as u128 * 1000) / span_ns as u128)
-                as u32;
+        out.sm_utilization_milli = ((union_time(&mut kernel_intervals).as_nanos() as u128 * 1000)
+            / span_ns as u128) as u32;
         out.sm_utilization_with_memcpy_milli =
             ((union_time(&mut busy_intervals).as_nanos() as u128 * 1000) / span_ns as u128) as u32;
         out

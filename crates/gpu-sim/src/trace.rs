@@ -354,7 +354,37 @@ fn fmt_args(args: &[(&'static str, ArgValue)]) -> String {
 /// flavor with a `traceEvents` array). `pid` distinguishes GPUs when traces
 /// from several devices are concatenated by the caller.
 pub fn export_chrome_trace(tracer: &Tracer, pid: u64) -> String {
-    let sorted = tracer.sorted();
+    export_sorted_events(&tracer.sorted(), pid)
+}
+
+/// `[start, end]` of the last (highest-start, then longest) span named
+/// `name`, e.g. the final `"epoch"` span of a training run. Used to cut a
+/// steady-epoch comparison window out of a full trace.
+pub fn last_span_window(tracer: &Tracer, name: &str) -> Option<(SimNanos, SimNanos)> {
+    tracer
+        .events()
+        .iter()
+        .filter(|e| e.name == name && e.kind.is_span())
+        .map(|e| (e.ts, e.end()))
+        .max()
+}
+
+/// [`export_chrome_trace`] restricted to events lying entirely inside
+/// `[t0, t1]` (`ts >= t0` and `ts + dur <= t1`), byte-format-identical to
+/// the full export otherwise. This is the resume-determinism oracle: a
+/// window over the final epoch of a kill-and-resume run must be
+/// byte-identical to the same window of the uninterrupted run, even though
+/// the runs' *full* traces differ in their prologues.
+pub fn export_chrome_trace_window(tracer: &Tracer, pid: u64, t0: SimNanos, t1: SimNanos) -> String {
+    let sorted: Vec<&TraceEvent> = tracer
+        .sorted()
+        .into_iter()
+        .filter(|e| e.ts >= t0 && e.end() <= t1)
+        .collect();
+    export_sorted_events(&sorted, pid)
+}
+
+fn export_sorted_events(sorted: &[&TraceEvent], pid: u64) -> String {
     let mut out = String::with_capacity(128 + sorted.len() * 96);
     out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
     let _ = write!(
@@ -363,7 +393,7 @@ pub fn export_chrome_trace(tracer: &Tracer, pid: u64) -> String {
     );
     // One thread-name metadata record per lane that actually appears.
     let mut lanes: BTreeMap<u64, Lane> = BTreeMap::new();
-    for e in &sorted {
+    for e in sorted {
         lanes.entry(e.lane.tid()).or_insert(e.lane);
     }
     for (tid, lane) in &lanes {
@@ -373,7 +403,7 @@ pub fn export_chrome_trace(tracer: &Tracer, pid: u64) -> String {
             json_escape(&lane.label())
         );
     }
-    for e in &sorted {
+    for e in sorted {
         let name = json_escape(e.name);
         let cat = e.kind.category();
         let tid = e.lane.tid();
@@ -433,7 +463,11 @@ pub fn trace_text_summary(tracer: &Tracer) -> String {
         row.0 += 1;
         row.1 += e.dur;
     }
-    let _ = writeln!(out, "{:<10} {:<28} {:>8} {:>14}", "kind", "name", "count", "total");
+    let _ = writeln!(
+        out,
+        "{:<10} {:<28} {:>8} {:>14}",
+        "kind", "name", "count", "total"
+    );
     for ((kind, name), (count, total)) in &rows {
         let _ = writeln!(out, "{kind:<10} {name:<28} {count:>8} {total:>14}");
     }
@@ -506,7 +540,11 @@ impl JsonLint<'_> {
             Some(b'f') => self.literal("false"),
             Some(b'n') => self.literal("null"),
             Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
-            other => Err(format!("unexpected {:?} at byte {}", other.map(|b| b as char), self.i)),
+            other => Err(format!(
+                "unexpected {:?} at byte {}",
+                other.map(|b| b as char),
+                self.i
+            )),
         }
     }
 
@@ -748,9 +786,17 @@ mod tests {
                 Lane::H2D,
                 SimNanos(0),
                 SimNanos(50),
-                vec![("bytes", ArgValue::U64(1024)), ("pinned", ArgValue::Bool(true))],
+                vec![
+                    ("bytes", ArgValue::U64(1024)),
+                    ("pinned", ArgValue::Bool(true)),
+                ],
             );
-            t.instant("oom", Lane::Memory, SimNanos(75), vec![("requested", ArgValue::U64(9))]);
+            t.instant(
+                "oom",
+                Lane::Memory,
+                SimNanos(75),
+                vec![("requested", ArgValue::U64(9))],
+            );
             t.counter("device_mem_in_use", Lane::Memory, SimNanos(75), 7);
             export_chrome_trace(&t, 0)
         };
@@ -762,6 +808,75 @@ mod tests {
         assert!(a.contains("\"ph\":\"C\""));
         assert!(a.contains("\"ph\":\"i\""));
         assert!(a.contains("\"thread_name\""));
+    }
+
+    #[test]
+    fn windowed_export_keeps_only_fully_contained_events() {
+        let mut t = Tracer::new();
+        t.span(
+            "epoch",
+            TraceKind::Span,
+            Lane::Control,
+            SimNanos(0),
+            SimNanos(100),
+            vec![],
+        );
+        t.span(
+            "epoch",
+            TraceKind::Span,
+            Lane::Control,
+            SimNanos(100),
+            SimNanos(220),
+            vec![],
+        );
+        t.span(
+            "k_in",
+            TraceKind::Kernel,
+            Lane::Stream(0),
+            SimNanos(110),
+            SimNanos(120),
+            vec![],
+        );
+        t.span(
+            "k_straddle",
+            TraceKind::Kernel,
+            Lane::Stream(0),
+            SimNanos(90),
+            SimNanos(110),
+            vec![],
+        );
+        t.instant("edge", Lane::Control, SimNanos(220), vec![]);
+        t.instant("late", Lane::Control, SimNanos(221), vec![]);
+        let (t0, t1) = last_span_window(&t, "epoch").unwrap();
+        assert_eq!((t0, t1), (SimNanos(100), SimNanos(220)));
+        let w = export_chrome_trace_window(&t, 0, t0, t1);
+        validate_json(&w).unwrap();
+        assert!(w.contains("k_in"));
+        assert!(w.contains("\"edge\""), "closed-interval end is included");
+        assert!(!w.contains("k_straddle"));
+        assert!(!w.contains("\"late\""));
+        // Only one epoch span survives the cut.
+        assert_eq!(w.matches("\"epoch\"").count(), 1);
+        // Format is identical to the full exporter over the same events.
+        let mut only = Tracer::new();
+        only.span(
+            "epoch",
+            TraceKind::Span,
+            Lane::Control,
+            SimNanos(100),
+            SimNanos(220),
+            vec![],
+        );
+        only.span(
+            "k_in",
+            TraceKind::Kernel,
+            Lane::Stream(0),
+            SimNanos(110),
+            SimNanos(120),
+            vec![],
+        );
+        only.instant("edge", Lane::Control, SimNanos(220), vec![]);
+        assert_eq!(w, export_chrome_trace(&only, 0));
     }
 
     #[test]

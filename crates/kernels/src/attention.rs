@@ -93,12 +93,7 @@ pub fn edge_scores(
 }
 
 /// Segment softmax of per-edge scores over each CSR row.
-pub fn edge_softmax(
-    gpu: &mut Gpu,
-    stream: StreamId,
-    adj: &DeviceCsr,
-    scores: &[f32],
-) -> Vec<f32> {
+pub fn edge_softmax(gpu: &mut Gpu, stream: StreamId, adj: &DeviceCsr, scores: &[f32]) -> Vec<f32> {
     let csr = adj.csr();
     assert_eq!(scores.len(), csr.nnz());
     let nnz = csr.nnz() as u64;
@@ -127,7 +122,9 @@ pub fn edge_softmax(
                 }
                 // SAFETY: bands own disjoint row ranges → disjoint segments.
                 let seg = unsafe { shared.slice(s..e) };
-                let max = scores[s..e].iter().fold(f32::NEG_INFINITY, |m, &v| m.max(v));
+                let max = scores[s..e]
+                    .iter()
+                    .fold(f32::NEG_INFINITY, |m, &v| m.max(v));
                 let mut denom = 0.0;
                 for (o, &sv) in seg.iter_mut().zip(&scores[s..e]) {
                     *o = (sv - max).exp();
@@ -307,7 +304,16 @@ mod tests {
         Csr::from_edges(
             5,
             5,
-            &[(0, 1), (1, 0), (0, 2), (2, 0), (1, 2), (2, 1), (3, 4), (4, 3)],
+            &[
+                (0, 1),
+                (1, 0),
+                (0, 2),
+                (2, 0),
+                (1, 2),
+                (2, 1),
+                (3, 4),
+                (4, 3),
+            ],
         )
     }
 
@@ -315,8 +321,20 @@ mod tests {
     fn edge_scores_apply_leaky_relu() {
         let (mut g, s) = setup();
         let adj = upload_csr(&mut g, s, Rc::new(graph()), true).unwrap();
-        let l = upload_matrix(&mut g, s, &Matrix::from_vec(5, 1, vec![1.0, -2.0, 0.5, 0.0, 0.0]), true).unwrap();
-        let r = upload_matrix(&mut g, s, &Matrix::from_vec(5, 1, vec![0.0, 0.5, 0.0, 0.0, -1.0]), true).unwrap();
+        let l = upload_matrix(
+            &mut g,
+            s,
+            &Matrix::from_vec(5, 1, vec![1.0, -2.0, 0.5, 0.0, 0.0]),
+            true,
+        )
+        .unwrap();
+        let r = upload_matrix(
+            &mut g,
+            s,
+            &Matrix::from_vec(5, 1, vec![0.0, 0.5, 0.0, 0.0, -1.0]),
+            true,
+        )
+        .unwrap();
         let scores = edge_scores(&mut g, s, &adj, &l, &r, 0.2);
         assert_eq!(scores.len(), 8);
         // edge (0,1): l[0]+r[1] = 1.5 > 0 → 1.5
@@ -379,8 +397,9 @@ mod tests {
         let co = Matrix::concat_cols(&[&xa, &xb]);
         let dsl = upload_sliced(&mut g, s, Rc::clone(&sliced), true).unwrap();
         let dco = upload_matrix(&mut g, s, &co, true).unwrap();
-        let out = spmm_sliced_parallel_values(&mut g, s, &dsl, &[Rc::clone(&va), Rc::clone(&vb)], &dco)
-            .unwrap();
+        let out =
+            spmm_sliced_parallel_values(&mut g, s, &dsl, &[Rc::clone(&va), Rc::clone(&vb)], &dco)
+                .unwrap();
         let parts = out.host().split_cols(2);
         for (p, (x, v)) in parts.iter().zip([(&xa, &va), (&xb, &vb)]) {
             let w = Csr::from_parts(

@@ -201,9 +201,15 @@ pub fn sigmoid_grad_from_out(
     upstream: &DeviceMatrix,
     category: KernelCategory,
 ) -> Result<DeviceMatrix, OomError> {
-    binary(gpu, stream, "sigmoid_grad", category, out, upstream, |y, g| {
-        g * y * (1.0 - y)
-    })
+    binary(
+        gpu,
+        stream,
+        "sigmoid_grad",
+        category,
+        out,
+        upstream,
+        |y, g| g * y * (1.0 - y),
+    )
 }
 
 /// Backward helper: `g · (1 − tanh(x)²)` given the forward *output*.
@@ -364,13 +370,7 @@ pub fn slice_rows(
 }
 
 /// SGD parameter step: `param ← param − lr · grad`, in place.
-pub fn sgd_step(
-    gpu: &mut Gpu,
-    stream: StreamId,
-    param: &mut DeviceMatrix,
-    grad: &Matrix,
-    lr: f32,
-) {
+pub fn sgd_step(gpu: &mut Gpu, stream: StreamId, param: &mut DeviceMatrix, grad: &Matrix, lr: f32) {
     assert_eq!(param.host().shape(), grad.shape(), "sgd shape mismatch");
     let n = param.host().len() as u64;
     gpu.launch(

@@ -113,7 +113,14 @@ pub fn gemm_weight_reuse(
     let n = w.cols() as u64;
     let m_total: u64 = xs.iter().map(|x| x.rows() as u64).sum();
     // Weight loaded once (weight_loads = 1) for the whole partition.
-    let cost = gemm_cost("gemm_weight_reuse", KernelCategory::Update, m_total, k, n, 1);
+    let cost = gemm_cost(
+        "gemm_weight_reuse",
+        KernelCategory::Update,
+        m_total,
+        k,
+        n,
+        1,
+    );
     gpu.launch(stream, cost);
     xs.iter()
         .map(|x| DeviceMatrix::alloc(gpu, gemm(x.host(), w.host())))

@@ -179,7 +179,11 @@ mod tests {
     }
 
     fn csr() -> Rc<Csr> {
-        Rc::new(Csr::from_edges(6, 6, &[(0, 1), (1, 0), (2, 3), (3, 2), (4, 5)]))
+        Rc::new(Csr::from_edges(
+            6,
+            6,
+            &[(0, 1), (1, 0), (2, 3), (3, 2), (4, 5)],
+        ))
     }
 
     #[test]
@@ -262,7 +266,10 @@ mod tests {
         use pipad_gpu_sim::{DeviceFault, FaultPlan, TransferFault};
         let mut g = gpu();
         g.install_faults(FaultPlan {
-            transfer_faults: vec![TransferFault { op: 0, failures: 10 }],
+            transfer_faults: vec![TransferFault {
+                op: 0,
+                failures: 10,
+            }],
             max_transfer_retries: 2,
             ..FaultPlan::default()
         });

@@ -173,7 +173,9 @@ mod tests {
         let x = tape.input(DeviceMatrix::alloc(&mut gpu, uniform(&mut rng, 5, 4, 1.0)).unwrap());
         let h = tape.input(DeviceMatrix::alloc(&mut gpu, Matrix::zeros(5, 3)).unwrap());
         let c = tape.input(DeviceMatrix::alloc(&mut gpu, Matrix::zeros(5, 3)).unwrap());
-        let (h2, c2) = cell.step(&mut gpu, &mut tape, &mut binder, x, h, c).unwrap();
+        let (h2, c2) = cell
+            .step(&mut gpu, &mut tape, &mut binder, x, h, c)
+            .unwrap();
         let hm = tape.host(h2);
         assert_eq!(hm.shape(), (5, 3));
         assert_eq!(tape.host(c2).shape(), (5, 3));
@@ -214,7 +216,9 @@ mod tests {
             let x = tape.input(DeviceMatrix::alloc(&mut gpu, x_host.clone()).unwrap());
             let h = tape.input(DeviceMatrix::alloc(&mut gpu, Matrix::zeros(6, 2)).unwrap());
             let c = tape.input(DeviceMatrix::alloc(&mut gpu, Matrix::zeros(6, 2)).unwrap());
-            let (h2, _) = cell.step(&mut gpu, &mut tape, &mut binder, x, h, c).unwrap();
+            let (h2, _) = cell
+                .step(&mut gpu, &mut tape, &mut binder, x, h, c)
+                .unwrap();
             losses.push(tape.mse_loss(&mut gpu, h2, &target));
             tape.backward_mse(&mut gpu, h2, &target).unwrap();
             binder.apply_sgd(&mut gpu, s, &tape, 0.5);

@@ -72,7 +72,12 @@ pub struct EvolveGcn {
 
 impl EvolveGcn {
     /// Create a new instance.
-    pub fn new(gpu: &mut Gpu, rng: &mut StdRng, in_dim: usize, hidden: usize) -> Result<Self, OomError> {
+    pub fn new(
+        gpu: &mut Gpu,
+        rng: &mut StdRng,
+        in_dim: usize,
+        hidden: usize,
+    ) -> Result<Self, OomError> {
         Ok(EvolveGcn {
             layer1: EvolveLayer::new(gpu, rng, "evolve.l1", in_dim, hidden)?,
             layer2: EvolveLayer::new(gpu, rng, "evolve.l2", hidden, hidden)?,

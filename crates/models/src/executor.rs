@@ -72,7 +72,10 @@ impl DirectExecutor {
     /// Build from a frame's snapshots (adjacency + features per slot).
     pub fn new(snapshots: &[(&pipad_sparse::Csr, &Matrix)]) -> Self {
         DirectExecutor {
-            norms: snapshots.iter().map(|(a, _)| normalize_snapshot(a)).collect(),
+            norms: snapshots
+                .iter()
+                .map(|(a, _)| normalize_snapshot(a))
+                .collect(),
             features: snapshots.iter().map(|(_, f)| (*f).clone()).collect(),
             kernel: AggregationKernel::CooScatter,
         }
@@ -162,9 +165,8 @@ mod tests {
         let mut tape = Tape::new(s);
         let xs = exec.inputs(&mut gpu, &mut tape).unwrap();
         let w = tape.input(pipad_kernels::DeviceMatrix::alloc(&mut gpu, Matrix::eye(3)).unwrap());
-        let b = tape.input(
-            pipad_kernels::DeviceMatrix::alloc(&mut gpu, Matrix::zeros(1, 3)).unwrap(),
-        );
+        let b =
+            tape.input(pipad_kernels::DeviceMatrix::alloc(&mut gpu, Matrix::zeros(1, 3)).unwrap());
         let hs = exec.update(&mut gpu, &mut tape, &xs, w, b).unwrap();
         assert_eq!(hs.len(), 2);
         assert!(tape.host(hs[0]).approx_eq(&x, 1e-6));

@@ -89,7 +89,12 @@ pub struct GatRnn {
 
 impl GatRnn {
     /// Create a new instance.
-    pub fn new(gpu: &mut Gpu, rng: &mut StdRng, in_dim: usize, hidden: usize) -> Result<Self, OomError> {
+    pub fn new(
+        gpu: &mut Gpu,
+        rng: &mut StdRng,
+        in_dim: usize,
+        hidden: usize,
+    ) -> Result<Self, OomError> {
         Ok(GatRnn {
             gat: GatLayer::new(gpu, rng, "gat.layer", in_dim, hidden)?,
             gru: GruCell::new(gpu, rng, "gat.gru", hidden, hidden)?,
@@ -198,13 +203,7 @@ mod tests {
             "loss: {losses:?}"
         );
         // attention parameters actually moved (full gradients, not detached)
-        let al0 = crate::params::Param::glorot(
-            &mut gpu,
-            &mut seeded_rng(61),
-            "ref",
-            2,
-            4,
-        );
+        let al0 = crate::params::Param::glorot(&mut gpu, &mut seeded_rng(61), "ref", 2, 4);
         drop(al0);
     }
 

@@ -26,7 +26,12 @@ pub struct MpnnLstm {
 
 impl MpnnLstm {
     /// Create a new instance.
-    pub fn new(gpu: &mut Gpu, rng: &mut StdRng, in_dim: usize, hidden: usize) -> Result<Self, OomError> {
+    pub fn new(
+        gpu: &mut Gpu,
+        rng: &mut StdRng,
+        in_dim: usize,
+        hidden: usize,
+    ) -> Result<Self, OomError> {
         Ok(MpnnLstm {
             gcn1: GcnLayer::new(gpu, rng, "mpnn.gcn1", in_dim, hidden)?,
             gcn2: GcnLayer::new(gpu, rng, "mpnn.gcn2", hidden, hidden)?,
@@ -120,10 +125,7 @@ mod tests {
         (0..t)
             .map(|_| {
                 let edges = [(0u32, 1u32), (1, 0), (1, 2), (2, 1)];
-                (
-                    Csr::from_edges(n, n, &edges),
-                    uniform(&mut rng, n, d, 1.0),
-                )
+                (Csr::from_edges(n, n, &edges), uniform(&mut rng, n, d, 1.0))
             })
             .collect()
     }

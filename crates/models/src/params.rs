@@ -21,7 +21,11 @@ pub struct Param {
 
 impl Param {
     /// Allocate a parameter on the device from an explicit matrix.
-    pub fn from_matrix(gpu: &mut Gpu, name: impl Into<String>, m: Matrix) -> Result<Self, OomError> {
+    pub fn from_matrix(
+        gpu: &mut Gpu,
+        name: impl Into<String>,
+        m: Matrix,
+    ) -> Result<Self, OomError> {
         Ok(Param {
             name: name.into(),
             value: Rc::new(RefCell::new(DeviceMatrix::alloc(gpu, m)?)),

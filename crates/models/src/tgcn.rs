@@ -38,7 +38,12 @@ pub struct TGcn {
 
 impl TGcn {
     /// Create a new instance.
-    pub fn new(gpu: &mut Gpu, rng: &mut StdRng, in_dim: usize, hidden: usize) -> Result<Self, OomError> {
+    pub fn new(
+        gpu: &mut Gpu,
+        rng: &mut StdRng,
+        in_dim: usize,
+        hidden: usize,
+    ) -> Result<Self, OomError> {
         Ok(TGcn {
             gcn_z: GcnLayer::new(gpu, rng, "tgcn.gcn_z", in_dim, hidden)?,
             gcn_r: GcnLayer::new(gpu, rng, "tgcn.gcn_r", in_dim, hidden)?,
@@ -86,7 +91,10 @@ impl DgnnModel for TGcn {
         let un = binder.bind(tape, &self.u_n);
 
         let n_vertices = tape.host(zx[0]).rows();
-        let mut h = tape.input(DeviceMatrix::alloc(gpu, Matrix::zeros(n_vertices, self.hidden))?);
+        let mut h = tape.input(DeviceMatrix::alloc(
+            gpu,
+            Matrix::zeros(n_vertices, self.hidden),
+        )?);
         for t in 0..exec.frame_len() {
             let zh = tape.matmul(gpu, h, uz, RNN)?;
             let zsum = tape.add(gpu, zx[t], zh, RNN)?;
@@ -196,9 +204,7 @@ mod tests {
         let snap = gpu.profiler().snapshot();
         let mut tape = Tape::new(s);
         model.forward_frame(&mut gpu, &mut tape, &mut exec).unwrap();
-        let agg_launches = gpu
-            .profiler()
-            .samples()[snap.from..]
+        let agg_launches = gpu.profiler().samples()[snap.from..]
             .iter()
             .filter(|sm| sm.name == "spmm_coo_scatter")
             .count();

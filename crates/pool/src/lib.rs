@@ -61,9 +61,8 @@ pub fn max_threads() -> usize {
             .ok()
             .and_then(|v| v.trim().parse::<usize>().ok())
             .filter(|&n| n >= 1);
-        let n = from_env.unwrap_or_else(|| {
-            std::thread::available_parallelism().map_or(1, |n| n.get())
-        });
+        let n =
+            from_env.unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
         n.clamp(1, 1024)
     })
 }
@@ -71,9 +70,7 @@ pub fn max_threads() -> usize {
 /// The band budget for the current thread: the [`with_threads`] override
 /// if one is active, else [`max_threads`].
 pub fn current_threads() -> usize {
-    THREAD_OVERRIDE
-        .with(Cell::get)
-        .unwrap_or_else(max_threads)
+    THREAD_OVERRIDE.with(Cell::get).unwrap_or_else(max_threads)
 }
 
 /// Run `f` with the band budget forced to `n` on this thread. Used by the
@@ -412,7 +409,9 @@ pub fn par_map<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec
             *slot = Some(f(item));
         }
     });
-    out.into_iter().map(|v| v.expect("band skipped a slot")).collect()
+    out.into_iter()
+        .map(|v| v.expect("band skipped a slot"))
+        .collect()
 }
 
 /// Deterministic exponential backoff schedule for retrying transient

@@ -18,12 +18,7 @@ pub fn csr_block_work(csr: &Csr, rows_per_block: usize) -> Vec<u64> {
     let degrees = csr.degrees();
     degrees
         .chunks(rows_per_block)
-        .map(|chunk| {
-            chunk
-                .iter()
-                .map(|&d| d as u64 + ROW_OVERHEAD)
-                .sum()
-        })
+        .map(|chunk| chunk.iter().map(|&d| d as u64 + ROW_OVERHEAD).sum())
         .collect()
 }
 

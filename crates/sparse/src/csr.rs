@@ -127,23 +127,26 @@ impl Csr {
     /// Column indices of row `r`.
     #[inline]
     pub fn row(&self, r: usize) -> &[u32] {
-        let (s, e) = (self.row_offsets[r] as usize, self.row_offsets[r + 1] as usize);
+        let (s, e) = (
+            self.row_offsets[r] as usize,
+            self.row_offsets[r + 1] as usize,
+        );
         &self.col_indices[s..e]
     }
 
     /// Values of row `r`.
     #[inline]
     pub fn row_values(&self, r: usize) -> &[f32] {
-        let (s, e) = (self.row_offsets[r] as usize, self.row_offsets[r + 1] as usize);
+        let (s, e) = (
+            self.row_offsets[r] as usize,
+            self.row_offsets[r + 1] as usize,
+        );
         &self.values[s..e]
     }
 
     /// Out-degree of each row.
     pub fn degrees(&self) -> Vec<u32> {
-        self.row_offsets
-            .windows(2)
-            .map(|w| w[1] - w[0])
-            .collect()
+        self.row_offsets.windows(2).map(|w| w[1] - w[0]).collect()
     }
 
     /// Number of rows with no nonzeros (Youtube-style sparsity; these waste
@@ -392,7 +395,7 @@ mod tests {
         assert_eq!(mid.n_cols(), 4);
         assert_eq!(mid.row(0), &[0, 2]); // old row 1
         assert_eq!(mid.row(1), &[] as &[u32]); // old row 2
-        // concatenating the splits reassembles the matrix
+                                               // concatenating the splits reassembles the matrix
         let top = c.slice_row_range(0, 1);
         let bot = c.slice_row_range(3, 4);
         let total = top.nnz() + mid.nnz() + bot.nnz();

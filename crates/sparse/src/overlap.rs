@@ -53,7 +53,9 @@ pub fn extract_overlap(snaps: &[&Csr]) -> OverlapSplit {
     let n_rows = snaps[0].n_rows();
     let n_cols = snaps[0].n_cols();
     assert!(
-        snaps.iter().all(|s| s.n_rows() == n_rows && s.n_cols() == n_cols),
+        snaps
+            .iter()
+            .all(|s| s.n_rows() == n_rows && s.n_cols() == n_cols),
         "snapshot dimension mismatch"
     );
     if snaps.len() == 1 {
@@ -113,8 +115,7 @@ pub fn overlap_rate(snaps: &[&Csr]) -> f64 {
         return 1.0;
     }
     let split = extract_overlap(snaps);
-    let mean_edges: f64 =
-        snaps.iter().map(|s| s.nnz() as f64).sum::<f64>() / snaps.len() as f64;
+    let mean_edges: f64 = snaps.iter().map(|s| s.nnz() as f64).sum::<f64>() / snaps.len() as f64;
     if mean_edges == 0.0 {
         1.0
     } else {

@@ -103,7 +103,11 @@ impl SlicedCsr {
             self.slice_offsets[i] as usize,
             self.slice_offsets[i + 1] as usize,
         );
-        (self.row_indices[i], &self.col_indices[s..e], &self.values[s..e])
+        (
+            self.row_indices[i],
+            &self.col_indices[s..e],
+            &self.values[s..e],
+        )
     }
 
     /// Iterate all slices.
@@ -208,7 +212,12 @@ mod tests {
         let edges: Vec<(u32, u32)> = (0..10u32).map(|i| (i * 97, i)).collect();
         let c = Csr::from_edges(1000, 1000, &edges);
         let s = SlicedCsr::from_csr(&c);
-        assert!(s.words() < c.words(), "sliced={} csr={}", s.words(), c.words());
+        assert!(
+            s.words() < c.words(),
+            "sliced={} csr={}",
+            s.words(),
+            c.words()
+        );
     }
 
     #[test]

@@ -63,9 +63,7 @@ impl PoolStats {
             misses: self.misses.saturating_sub(earlier.misses),
             recycled: self.recycled.saturating_sub(earlier.recycled),
             reused_bytes: self.reused_bytes.saturating_sub(earlier.reused_bytes),
-            recycled_bytes: self
-                .recycled_bytes
-                .saturating_sub(earlier.recycled_bytes),
+            recycled_bytes: self.recycled_bytes.saturating_sub(earlier.recycled_bytes),
         }
     }
 }
@@ -73,6 +71,9 @@ impl PoolStats {
 #[derive(Default)]
 struct BufferPool {
     classes: BTreeMap<u32, Vec<Vec<f32>>>,
+    /// Byte-buffer freelists (checkpoint encode staging); same size-class
+    /// scheme and the same [`PoolStats`] counters as the `f32` classes.
+    byte_classes: BTreeMap<u32, Vec<Vec<u8>>>,
     stats: PoolStats,
 }
 
@@ -169,6 +170,53 @@ pub fn recycle_buf(mut buf: Vec<f32>) {
     });
 }
 
+/// [`take_buf`] for byte buffers (`len() == 0`, `capacity() >= n`):
+/// checkpoint encoding stages sections through these so writing a
+/// checkpoint during a steady-state epoch does not defeat the zero-alloc
+/// budget. Counted in the same [`PoolStats`] as the `f32` classes, with
+/// `reused_bytes` counting requested bytes (not elements × 4).
+pub fn take_byte_buf(n: usize) -> Vec<u8> {
+    if n == 0 {
+        return Vec::new();
+    }
+    if !pool_enabled() {
+        return Vec::with_capacity(n);
+    }
+    POOL.with(|p| {
+        let mut p = p.borrow_mut();
+        let class = class_for_request(n);
+        if let Some(buf) = p.byte_classes.get_mut(&class).and_then(Vec::pop) {
+            debug_assert!(buf.capacity() >= n && buf.is_empty());
+            p.stats.hits += 1;
+            p.stats.reused_bytes += n as u64;
+            buf
+        } else {
+            p.stats.misses += 1;
+            Vec::with_capacity(n.next_power_of_two())
+        }
+    })
+}
+
+/// Return a byte buffer to the calling thread's pool (see
+/// [`recycle_buf`]).
+pub fn recycle_byte_buf(mut buf: Vec<u8>) {
+    let capacity = buf.capacity();
+    if capacity == 0 || !pool_enabled() {
+        return;
+    }
+    POOL.with(|p| {
+        let mut p = p.borrow_mut();
+        let class = class_for_capacity(capacity);
+        let list = p.byte_classes.entry(class).or_default();
+        if list.len() < MAX_PER_CLASS {
+            buf.clear();
+            list.push(buf);
+            p.stats.recycled += 1;
+            p.stats.recycled_bytes += capacity as u64;
+        }
+    });
+}
+
 /// Snapshot the calling thread's cumulative pool counters.
 pub fn pool_stats() -> PoolStats {
     POOL.with(|p| p.borrow().stats)
@@ -180,6 +228,7 @@ pub fn reset_pool() {
     POOL.with(|p| {
         let mut p = p.borrow_mut();
         p.classes.clear();
+        p.byte_classes.clear();
         p.stats = PoolStats::default();
     });
 }
@@ -247,6 +296,28 @@ mod tests {
             assert!(!pool_enabled());
             with_pool_enabled(true, || assert!(pool_enabled()));
             assert!(!pool_enabled());
+        });
+    }
+
+    #[test]
+    fn byte_buffers_pool_separately_from_f32_buffers() {
+        with_pool_enabled(true, || {
+            reset_pool();
+            let b = take_byte_buf(100);
+            assert!(b.capacity() >= 100);
+            recycle_byte_buf(b);
+            // An f32 request in the same size class must NOT be served from
+            // the byte freelist (and vice versa).
+            let f = take_buf(100);
+            let s = pool_stats();
+            assert_eq!((s.hits, s.misses, s.recycled), (0, 2, 1));
+            let b2 = take_byte_buf(70);
+            assert!(b2.is_empty() && b2.capacity() >= 70);
+            let s = pool_stats();
+            assert_eq!((s.hits, s.misses), (1, 2));
+            assert_eq!(s.reused_bytes, 70);
+            recycle_buf(f);
+            reset_pool();
         });
     }
 

@@ -18,7 +18,8 @@ mod matrix;
 mod ops;
 
 pub use bufpool::{
-    pool_enabled, pool_stats, recycle_buf, reset_pool, take_buf, with_pool_enabled, PoolStats,
+    pool_enabled, pool_stats, recycle_buf, recycle_byte_buf, reset_pool, take_buf, take_byte_buf,
+    with_pool_enabled, PoolStats,
 };
 pub use count_alloc::{heap_counters, CountingAllocator};
 pub use init::{glorot_uniform, seeded_rng, uniform};

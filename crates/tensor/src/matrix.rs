@@ -340,7 +340,10 @@ impl Matrix {
     /// Split into equal-width column chunks (inverse of `concat_cols` with
     /// equal parts).
     pub fn split_cols(&self, n_parts: usize) -> Vec<Matrix> {
-        assert!(n_parts > 0 && self.cols.is_multiple_of(n_parts), "uneven split");
+        assert!(
+            n_parts > 0 && self.cols.is_multiple_of(n_parts),
+            "uneven split"
+        );
         let w = self.cols / n_parts;
         (0..n_parts)
             .map(|i| self.slice_cols(i * w, (i + 1) * w))

@@ -66,11 +66,17 @@ fn main() {
     println!("\nGAT-RNN under both frameworks (same numerics):");
     println!(
         "  PyGT-A : losses {:?}",
-        base.losses().iter().map(|l| (l * 1e4).round() / 1e4).collect::<Vec<_>>()
+        base.losses()
+            .iter()
+            .map(|l| (l * 1e4).round() / 1e4)
+            .collect::<Vec<_>>()
     );
     println!(
         "  PiPAD  : losses {:?}",
-        ours.losses().iter().map(|l| (l * 1e4).round() / 1e4).collect::<Vec<_>>()
+        ours.losses()
+            .iter()
+            .map(|l| (l * 1e4).round() / 1e4)
+            .collect::<Vec<_>>()
     );
     println!(
         "\nsteady epoch: PyGT-A {} vs PiPAD {}  ({:.2}x)",

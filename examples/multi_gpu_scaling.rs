@@ -41,10 +41,7 @@ fn main() {
         )
         .expect("multi-gpu run failed");
         let t = r.steady_epoch_time;
-        let scaling = base
-            .get_or_insert(t)
-            .as_nanos() as f64
-            / t.as_nanos().max(1) as f64;
+        let scaling = base.get_or_insert(t).as_nanos() as f64 / t.as_nanos().max(1) as f64;
         println!(
             "{:>4}   {:>12}   {:>6.2}x   {:>8.1} KiB   {:>13.1} KiB   {:>10.1} KiB",
             r.n_gpus,

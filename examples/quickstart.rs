@@ -37,8 +37,15 @@ fn main() {
 
     // 3. Train T-GCN with the PyGT baseline (one snapshot at a time) ...
     let mut gpu = Gpu::new(DeviceConfig::v100());
-    let base = train_baseline(&mut gpu, BaselineKind::Pygt, ModelKind::TGcn, &graph, hidden, &cfg)
-        .expect("baseline training failed");
+    let base = train_baseline(
+        &mut gpu,
+        BaselineKind::Pygt,
+        ModelKind::TGcn,
+        &graph,
+        hidden,
+        &cfg,
+    )
+    .expect("baseline training failed");
 
     // 4. ... and with PiPAD (partition-parallel, pipelined, with reuse).
     let mut gpu = Gpu::new(DeviceConfig::v100());

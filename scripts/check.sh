@@ -7,13 +7,18 @@
 # byte-identity contract (golden Chrome-trace regression), the
 # allocation-budget gate (steady-state epochs must stay ≥95% below the
 # preparing epochs' hot-path heap allocations, under a pinned budget),
-# the buffer-pool kill-switch equivalence gate, and the chaos gate
-# (`repro chaos` twice, diffing the fault-injection reports).
+# the buffer-pool kill-switch equivalence gate, the chaos gate
+# (`repro chaos` twice, diffing the fault-injection reports), and the
+# resume gate (kill-and-resume bit-identity for every model, pool on and
+# off, threads 1 and 4, plus a `repro resume` report thread-diff).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 echo "== cargo build --release =="
 cargo build --release
+
+echo "== cargo fmt --check =="
+cargo fmt --check
 
 echo "== cargo clippy --workspace -- -D warnings =="
 cargo clippy --workspace -- -D warnings
@@ -40,14 +45,29 @@ echo "== pool equivalence (PIPAD_NO_POOL=1 bit-identity) =="
 PIPAD_NO_POOL=1 cargo test -q --test pool_equivalence
 
 echo "== chaos determinism (repro chaos @ PIPAD_THREADS=1 vs =4) =="
-chaos_dir="$(mktemp -d)"
-trap 'rm -rf "$chaos_dir"' EXIT
+scratch_dir="$(mktemp -d)"
+trap 'rm -rf "$scratch_dir"' EXIT
 PIPAD_THREADS=1 cargo run -q --release -p pipad-bench --bin repro -- \
-    chaos --scale tiny --out "$chaos_dir/t1"
+    chaos --scale tiny --out "$scratch_dir/t1"
 PIPAD_THREADS=4 cargo run -q --release -p pipad-bench --bin repro -- \
-    chaos --scale tiny --out "$chaos_dir/t4"
-diff "$chaos_dir/t1/chaos.json" "$chaos_dir/t4/chaos.json"
-diff "$chaos_dir/t1/chaos.txt" "$chaos_dir/t4/chaos.txt"
+    chaos --scale tiny --out "$scratch_dir/t4"
+diff "$scratch_dir/t1/chaos.json" "$scratch_dir/t4/chaos.json"
+diff "$scratch_dir/t1/chaos.txt" "$scratch_dir/t4/chaos.txt"
 echo "chaos report byte-identical across thread counts"
+
+echo "== resume equivalence (kill-and-resume bit-identity) @ PIPAD_THREADS=1 =="
+PIPAD_THREADS=1 cargo test -q --release --test resume_equivalence
+
+echo "== resume equivalence @ PIPAD_THREADS=4 =="
+PIPAD_THREADS=4 cargo test -q --release --test resume_equivalence
+
+echo "== resume determinism (repro resume @ PIPAD_THREADS=1 vs =4) =="
+PIPAD_THREADS=1 cargo run -q --release -p pipad-bench --bin repro -- \
+    resume --scale tiny --out "$scratch_dir/r1"
+PIPAD_THREADS=4 cargo run -q --release -p pipad-bench --bin repro -- \
+    resume --scale tiny --out "$scratch_dir/r4"
+diff "$scratch_dir/r1/resume.json" "$scratch_dir/r4/resume.json"
+diff "$scratch_dir/r1/resume.txt" "$scratch_dir/r4/resume.txt"
+echo "resume report byte-identical across thread counts"
 
 echo "== all checks passed =="

@@ -5,6 +5,7 @@
 pub use pipad;
 pub use pipad_autograd as autograd;
 pub use pipad_baselines as baselines;
+pub use pipad_ckpt as ckpt;
 pub use pipad_dyngraph as dyngraph;
 pub use pipad_gpu_sim as gpu_sim;
 pub use pipad_kernels as kernels;

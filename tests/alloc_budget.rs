@@ -14,6 +14,7 @@
 //! so the binary must not run unrelated tests concurrently.
 
 use pipad::{train_pipad, PipadConfig};
+use pipad_ckpt::CheckpointPolicy;
 use pipad_dyngraph::{DatasetId, Scale};
 use pipad_gpu_sim::{DeviceConfig, Gpu};
 use pipad_models::{ModelKind, TrainingConfig};
@@ -26,6 +27,12 @@ static ALLOC: CountingAllocator = CountingAllocator;
 /// the workload below (~17k observed; includes the simulator's tracing
 /// and profiling bookkeeping, which the buffer pool does not cover).
 const STEADY_EPOCH_HEAP_ALLOC_BUDGET: u64 = 60_000;
+
+/// Ceiling for a steady epoch that also writes a checkpoint. Section
+/// staging goes through the byte pool with exact size hints, so after the
+/// first (preparing-epoch) write warms the pool, a checkpointing epoch
+/// costs only file I/O and bookkeeping on top of the plain budget.
+const CKPT_STEADY_EPOCH_HEAP_ALLOC_BUDGET: u64 = 70_000;
 
 #[test]
 fn steady_state_epochs_are_allocation_free_on_the_hot_path() {
@@ -62,7 +69,11 @@ fn steady_state_epochs_are_allocation_free_on_the_hot_path() {
 
     // The counting allocator is installed, so heap counters must be live.
     for e in &report.epochs {
-        assert!(e.alloc.heap_allocs > 0, "epoch {}: allocator not counting", e.epoch);
+        assert!(
+            e.alloc.heap_allocs > 0,
+            "epoch {}: allocator not counting",
+            e.epoch
+        );
         assert!(e.alloc.pool_hits > 0, "epoch {}: pool never hit", e.epoch);
     }
 
@@ -83,4 +94,43 @@ fn steady_state_epochs_are_allocation_free_on_the_hot_path() {
         "steady epoch exceeds the allocation budget: {steady_allocs:.0} > {}",
         STEADY_EPOCH_HEAP_ALLOC_BUDGET
     );
+
+    // ---- checkpointing epochs --------------------------------------------
+    // Same workload with checkpointing every 2 epochs (writes at epochs 1,
+    // 3, 5). Checkpoint staging buffers come from the byte pool, so the
+    // steady checkpointing epochs must stay within a pinned budget instead
+    // of regressing to per-write heap churn.
+    reset_pool();
+    let ckpt_dir = std::env::temp_dir().join(format!("pipad-alloc-ckpt-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&ckpt_dir);
+    let cfg6 = TrainingConfig {
+        epochs: 6,
+        ..cfg.clone()
+    };
+    let pcfg = PipadConfig {
+        checkpoint: Some(CheckpointPolicy::new(ckpt_dir.clone(), 2)),
+        ..PipadConfig::default()
+    };
+    let mut gpu = Gpu::new(DeviceConfig::v100());
+    let report = train_pipad(&mut gpu, ModelKind::TGcn, &graph, 16, &cfg6, &pcfg)
+        .expect("train with checkpoints");
+    let ckpt_epochs: Vec<_> = report
+        .epochs
+        .iter()
+        .filter(|e| e.epoch >= cfg6.preparing_epochs && (e.epoch + 1) % 2 == 0)
+        .collect();
+    assert!(
+        !ckpt_epochs.is_empty(),
+        "schedule produced no steady checkpointing epoch"
+    );
+    for e in &ckpt_epochs {
+        assert!(
+            e.alloc.heap_allocs <= CKPT_STEADY_EPOCH_HEAP_ALLOC_BUDGET,
+            "checkpointing epoch {} exceeds the allocation budget: {} > {}",
+            e.epoch,
+            e.alloc.heap_allocs,
+            CKPT_STEADY_EPOCH_HEAP_ALLOC_BUDGET
+        );
+    }
+    std::fs::remove_dir_all(&ckpt_dir).expect("cleanup checkpoints");
 }

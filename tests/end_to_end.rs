@@ -61,7 +61,11 @@ fn execution_strategy_does_not_change_learning() {
     // same data → same loss trajectory across all five systems.
     for model in [ModelKind::TGcn, ModelKind::EvolveGcn] {
         let reference = run_baseline(BaselineKind::Pygt, model, DatasetId::Pems08).losses();
-        for kind in [BaselineKind::PygtA, BaselineKind::PygtR, BaselineKind::PygtG] {
+        for kind in [
+            BaselineKind::PygtA,
+            BaselineKind::PygtR,
+            BaselineKind::PygtG,
+        ] {
             let l = run_baseline(kind, model, DatasetId::Pems08).losses();
             for (a, b) in l.iter().zip(&reference) {
                 assert!(
@@ -94,7 +98,10 @@ fn incremental_optimizations_rank_correctly_on_tgcn() {
     let pipad = run_pipad(ModelKind::TGcn, id);
     assert!(a.steady_epoch_time < pygt.steady_epoch_time, "A < PyGT");
     assert!(r.steady_epoch_time < a.steady_epoch_time, "R < A");
-    assert!(pipad.steady_epoch_time < pygt.steady_epoch_time, "PiPAD < PyGT");
+    assert!(
+        pipad.steady_epoch_time < pygt.steady_epoch_time,
+        "PiPAD < PyGT"
+    );
     let speedup = pipad.speedup_over(&pygt);
     assert!(
         speedup > 1.2,

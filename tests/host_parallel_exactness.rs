@@ -52,7 +52,11 @@ fn assert_bit_identical(label: &str, f: impl Fn() -> Matrix) {
     let baseline = with_threads(1, &f);
     for &n in &THREAD_COUNTS[1..] {
         let got = with_threads(n, &f);
-        assert_eq!(got.shape(), baseline.shape(), "{label}: shape at {n} threads");
+        assert_eq!(
+            got.shape(),
+            baseline.shape(),
+            "{label}: shape at {n} threads"
+        );
         assert_eq!(
             bits(&got),
             bits(&baseline),
@@ -63,8 +67,13 @@ fn assert_bit_identical(label: &str, f: impl Fn() -> Matrix) {
 
 // (m, k, n) GEMM shapes: empty, one row, band-non-divisible, above the
 // FLOP-volume parallel threshold (130·128·128 > 2^20).
-const GEMM_SHAPES: [(usize, usize, usize); 5] =
-    [(0, 0, 0), (1, 5, 3), (13, 7, 5), (64, 33, 17), (130, 128, 128)];
+const GEMM_SHAPES: [(usize, usize, usize); 5] = [
+    (0, 0, 0),
+    (1, 5, 3),
+    (13, 7, 5),
+    (64, 33, 17),
+    (130, 128, 128),
+];
 
 #[test]
 fn gemm_bit_identical_across_thread_counts() {
@@ -89,8 +98,12 @@ fn gemm_tn_and_nt_bit_identical_across_thread_counts() {
 
 #[test]
 fn spmm_dense_bit_identical_across_thread_counts() {
-    for &(rows, cols, feat) in &[(0usize, 4usize, 4usize), (1, 6, 3), (13, 13, 5), (700, 700, 32)]
-    {
+    for &(rows, cols, feat) in &[
+        (0usize, 4usize, 4usize),
+        (1, 6, 3),
+        (13, 13, 5),
+        (700, 700, 32),
+    ] {
         let adj = sparse(rows, cols, 11);
         let x = fill(cols, feat, 7);
         assert_bit_identical(&format!("spmm_dense {rows}x{cols}x{feat}"), || {
@@ -135,9 +148,7 @@ fn elementwise_add_bias_bit_identical_across_thread_counts() {
 fn matrix_map_and_col_sums_bit_identical_across_thread_counts() {
     for &(rows, cols) in &[(0usize, 0usize), (1, 9), (13, 5), (600, 64)] {
         let x = fill(rows, cols, 12);
-        assert_bit_identical(&format!("map {rows}x{cols}"), || {
-            x.map(|v| v * 1.5 + 0.25)
-        });
+        assert_bit_identical(&format!("map {rows}x{cols}"), || x.map(|v| v * 1.5 + 0.25));
         let baseline = with_threads(1, || x.col_sums());
         for &n in &THREAD_COUNTS[1..] {
             let got = with_threads(n, || x.col_sums());

@@ -23,8 +23,8 @@ fn run_once(model: ModelKind) -> (Vec<u32>, String) {
         seed: 7,
     };
     let mut gpu = Gpu::new(DeviceConfig::v100());
-    let report = train_pipad(&mut gpu, model, &graph, 8, &cfg, &PipadConfig::default())
-        .expect("train");
+    let report =
+        train_pipad(&mut gpu, model, &graph, 8, &cfg, &PipadConfig::default()).expect("train");
     let losses = report.losses().iter().map(|l| l.to_bits()).collect();
     (losses, export_chrome_trace(gpu.trace(), 0))
 }
@@ -44,14 +44,16 @@ fn pool_on_off_and_thread_count_do_not_change_results() {
         // Warm pool (recycled buffers from the previous run) must not
         // change values either — recycled memory is fully overwritten.
         let (warm_losses, warm_trace) = with_pool_enabled(true, || run_once(model));
-        assert_eq!(base_losses, warm_losses, "{model:?}: warm pool changed losses");
+        assert_eq!(
+            base_losses, warm_losses,
+            "{model:?}: warm pool changed losses"
+        );
         assert_eq!(base_trace, warm_trace, "{model:?}: warm pool changed trace");
 
         for pool_on in [true, false] {
             for threads in [1usize, 4] {
-                let (losses, trace) = with_pool_enabled(pool_on, || {
-                    with_threads(threads, || run_once(model))
-                });
+                let (losses, trace) =
+                    with_pool_enabled(pool_on, || with_threads(threads, || run_once(model)));
                 assert_eq!(
                     base_losses, losses,
                     "{model:?}: losses diverged (pool_on={pool_on}, threads={threads})"

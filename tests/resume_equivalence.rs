@@ -1,0 +1,98 @@
+//! Kill-and-resume equivalence gate (the checkpoint subsystem's headline
+//! contract).
+//!
+//! For every paper model, and with the host buffer pool both enabled and
+//! disabled, a PiPAD run killed mid-steady-epoch by an injected `crash`
+//! fault and resumed from its newest checkpoint must reproduce the
+//! uninterrupted run **bit for bit**: identical loss bits for every epoch
+//! and a byte-identical Chrome-trace export of the final steady epoch's
+//! window. `scripts/check.sh` runs this binary under `PIPAD_THREADS=1`
+//! and `=4`, completing the thread axis of the contract.
+
+use pipad::{train_pipad, PipadConfig};
+use pipad_repro::ckpt::CheckpointPolicy;
+use pipad_repro::dyngraph::{DatasetId, Scale};
+use pipad_repro::gpu_sim::{
+    export_chrome_trace_window, last_span_window, CrashCounter, CrashPoint, DeviceConfig,
+    DeviceFault, FaultPlan, Gpu,
+};
+use pipad_repro::models::{ModelKind, TrainingConfig};
+use pipad_repro::tensor::with_pool_enabled;
+use std::path::Path;
+
+fn cfg() -> TrainingConfig {
+    // 2 preparing + 4 steady epochs → checkpoints at epochs 1, 3, 5; the
+    // 70% crash lands mid-steady, past at least one steady checkpoint.
+    TrainingConfig {
+        window: 8,
+        epochs: 6,
+        preparing_epochs: 2,
+        lr: 0.01,
+        seed: 3,
+    }
+}
+
+fn assert_kill_and_resume_is_invisible(model: ModelKind, base: &Path) {
+    let g = DatasetId::Covid19England.gen_config(Scale::Tiny).generate();
+    let cfg = cfg();
+    let sub = base.join(model.name());
+    let _ = std::fs::remove_dir_all(&sub);
+    let pcfg_for = |dir: &str| PipadConfig {
+        checkpoint: Some(CheckpointPolicy::new(sub.join(dir), 2)),
+        ..PipadConfig::default()
+    };
+
+    // Reference: never interrupted (checkpointing on, so both runs emit
+    // identical checkpoint_write instants).
+    let mut g1 = Gpu::new(DeviceConfig::v100());
+    let reference = train_pipad(&mut g1, model, &g, 8, &cfg, &pcfg_for("ref"))
+        .unwrap_or_else(|e| panic!("{}: reference run failed: {e}", model.name()));
+    let crash_at = g1.op_counters().launches * 7 / 10;
+
+    // Killed: crash at ~70% of the reference's launch stream.
+    let mut g2 = Gpu::new(DeviceConfig::v100());
+    g2.install_faults(FaultPlan {
+        crash: Some(CrashPoint {
+            counter: CrashCounter::Launches,
+            at: crash_at,
+        }),
+        ..FaultPlan::default()
+    });
+    let err = train_pipad(&mut g2, model, &g, 8, &cfg, &pcfg_for("killed"))
+        .expect_err("crash fault must abort the run");
+    assert!(matches!(err, DeviceFault::Crash(_)), "{err}");
+
+    // Resumed: fresh device, restore from the killed run's checkpoint.
+    let mut g3 = Gpu::new(DeviceConfig::v100());
+    let resumed = train_pipad(&mut g3, model, &g, 8, &cfg, &pcfg_for("killed"))
+        .unwrap_or_else(|e| panic!("{}: resumed run failed: {e}", model.name()));
+
+    let a: Vec<u32> = reference.losses().iter().map(|l| l.to_bits()).collect();
+    let b: Vec<u32> = resumed.losses().iter().map(|l| l.to_bits()).collect();
+    assert_eq!(a, b, "{}: kill-and-resume changed the losses", model.name());
+
+    let wa = last_span_window(g1.trace(), "epoch").unwrap();
+    let wb = last_span_window(g3.trace(), "epoch").unwrap();
+    assert_eq!(wa, wb, "{}: final epoch timeline drifted", model.name());
+    let ea = export_chrome_trace_window(g1.trace(), 1, wa.0, wa.1);
+    let eb = export_chrome_trace_window(g3.trace(), 1, wb.0, wb.1);
+    assert_eq!(ea, eb, "{}: final epoch trace window differs", model.name());
+
+    std::fs::remove_dir_all(&sub).expect("cleanup checkpoints");
+}
+
+#[test]
+fn kill_and_resume_is_bit_identical_for_all_models_pool_on_and_off() {
+    let base =
+        std::env::temp_dir().join(format!("pipad-resume-equivalence-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    for model in [ModelKind::EvolveGcn, ModelKind::MpnnLstm, ModelKind::TGcn] {
+        with_pool_enabled(true, || {
+            assert_kill_and_resume_is_invisible(model, &base.join("pool"))
+        });
+        with_pool_enabled(false, || {
+            assert_kill_and_resume_is_invisible(model, &base.join("nopool"))
+        });
+    }
+    let _ = std::fs::remove_dir_all(&base);
+}

@@ -6,7 +6,9 @@
 use pipad_repro::gpu_sim::{
     feature_row_access, DeviceConfig, Gpu, KernelCategory, KernelCost, SimNanos, VectorWidth,
 };
-use pipad_repro::pipad::{DynamicTuner, FrameProfile, GraphAnalyzer, OfflineTable, PartitionCatalog};
+use pipad_repro::pipad::{
+    DynamicTuner, FrameProfile, GraphAnalyzer, OfflineTable, PartitionCatalog,
+};
 use proptest::prelude::*;
 
 fn kernel(flops: u64, txns: u64) -> KernelCost {

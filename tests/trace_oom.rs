@@ -21,7 +21,10 @@ fn failed_alloc_is_traced_with_occupancy() {
     let _b = gpu.alloc(256 << 10).expect("second alloc fits");
     let err = gpu.alloc(512 << 10).expect_err("third alloc must OOM");
     assert_eq!(err.requested, 512 << 10);
-    assert_eq!(err.label, "alloc", "raw Gpu::alloc carries the default label");
+    assert_eq!(
+        err.label, "alloc",
+        "raw Gpu::alloc carries the default label"
+    );
     assert!(
         err.to_string().contains("allocating alloc"),
         "Display must attribute the allocation: {err}"
