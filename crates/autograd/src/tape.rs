@@ -62,6 +62,14 @@ enum Op {
         x: Var,
         s_per: usize,
     },
+    /// Rectangular sliced aggregation with an explicitly supplied transpose
+    /// for backward (halo exchange: `local × n` row slice against globally
+    /// stacked features — the symmetry shortcut of [`Op::SpmmSliced`] does
+    /// not apply).
+    SpmmSlicedRect {
+        adj_t: Rc<SlicedCsr>,
+        x: Var,
+    },
     /// Fused partition aggregation (PiPAD §4.2): one parallel pass over the
     /// overlap topology serving all members, per-member exclusive passes
     /// accumulated via atomic epilogues, and one normalization pass.
@@ -228,6 +236,16 @@ impl Tape {
         self.push_owned(value, Op::Input, false, KernelCategory::Other)
     }
 
+    /// Register a device-resident value that **carries** gradient without
+    /// being a parameter. The reverse sweep stops here ([`Op::Input`] has no
+    /// inputs of its own) but the accumulated gradient stays readable via
+    /// [`Tape::grad`] — the sharded trainer registers peer shards' halo
+    /// activations this way and routes the deposited gradient back to the
+    /// producing shard on the host.
+    pub fn input_grad(&mut self, value: DeviceMatrix) -> Var {
+        self.push_owned(value, Op::Input, true, KernelCategory::Other)
+    }
+
     /// Register a shared device-resident value **without** gradient — used
     /// for cached intermediates (e.g. PiPAD's GPU-side reuse buffer) that
     /// several tapes read in place.
@@ -320,6 +338,34 @@ impl Tape {
             gpu,
             out,
             Op::SpmmSliced { adj, x, s_per },
+            rg,
+            KernelCategory::Aggregation,
+        ))
+    }
+
+    /// Rectangular sliced aggregation `adj · x` with an explicitly supplied
+    /// transpose for backward. Unlike [`Tape::spmm_sliced`], `adj` need not
+    /// be square or symmetric: the multi-GPU halo-exchange path aggregates a
+    /// `local × n` row slice of the normalized adjacency against globally
+    /// stacked features, and backward maps the upstream gradient through
+    /// `adj_t = adjᵀ` (`n × local`) instead of reusing the forward operator.
+    pub fn spmm_sliced_rect(
+        &mut self,
+        gpu: &mut Gpu,
+        adj: Rc<SlicedCsr>,
+        adj_t: Rc<SlicedCsr>,
+        x: Var,
+    ) -> Result<Var, OomError> {
+        let out = {
+            let handle = k::DeviceSliced::resident(adj);
+            let dx = self.dev(x);
+            k::spmm_sliced_parallel(gpu, self.stream, &handle, &dx, 1)?
+        };
+        let rg = self.requires(x);
+        Ok(self.push_computed(
+            gpu,
+            out,
+            Op::SpmmSlicedRect { adj_t, x },
             rg,
             KernelCategory::Aggregation,
         ))
@@ -745,6 +791,58 @@ impl Tape {
         self.backward_from(gpu, pred, seed)
     }
 
+    /// Raw sum-of-squared-error of `pred` against `target` (no divide) —
+    /// the shardable half of MSE: per-shard partials summed in canonical
+    /// shard order, then divided once by the global element count,
+    /// reproduce the whole-matrix [`Tape::mse_loss`] bit for bit.
+    pub fn sse_loss(&mut self, gpu: &mut Gpu, pred: Var, target: &Matrix) -> f32 {
+        let dm = self.dev(pred);
+        k::sse_loss(gpu, self.stream, &dm, target)
+    }
+
+    /// Seed `d/d(pred)` of an MSE whose denominator is the **global**
+    /// element count `denom` (not `pred`'s own), then run the reverse
+    /// sweep — the backward counterpart of [`Tape::sse_loss`] for sharded
+    /// training, where each shard holds a row block of the full prediction.
+    pub fn backward_mse_denom(
+        &mut self,
+        gpu: &mut Gpu,
+        pred: Var,
+        target: &Matrix,
+        denom: u64,
+    ) -> Result<(), OomError> {
+        let seed = {
+            let dm = self.dev(pred);
+            k::mse_grad_denom(gpu, self.stream, &dm, target, denom)?
+        };
+        self.backward_from(gpu, pred, seed)
+    }
+
+    /// Run a reverse sweep from `root` that deposits **only** the
+    /// contributions of `seed`, merging into gradients already present from
+    /// earlier sweeps instead of double-counting them: grads of nodes at or
+    /// below `root` are stashed, the sweep runs on a clean slate, and the
+    /// stash is added back. The sharded trainer's second sweep injects
+    /// cross-shard halo gradients at interior activations this way.
+    pub fn backward_seed_only(
+        &mut self,
+        gpu: &mut Gpu,
+        root: Var,
+        seed: DeviceMatrix,
+    ) -> Result<(), OomError> {
+        let mut stash: Vec<(usize, DeviceMatrix)> = Vec::new();
+        for i in 0..=root.0 {
+            if let Some(g) = self.nodes[i].grad.take() {
+                stash.push((i, g));
+            }
+        }
+        self.backward_from(gpu, root, seed)?;
+        for (i, g) in stash {
+            self.accumulate(gpu, Var(i), g)?;
+        }
+        Ok(())
+    }
+
     /// Run the reverse sweep from `root` with an explicit seed gradient.
     pub fn backward_from(
         &mut self,
@@ -793,6 +891,7 @@ impl Tape {
             MatMul(Var, Var),
             Spmm(Rc<Csr>, Var, AggregationKernel),
             SpmmSliced(Rc<SlicedCsr>, Var, usize),
+            SpmmSlicedRect(Rc<SlicedCsr>, Var),
             SpmmPartition(
                 Option<Rc<SlicedCsr>>,
                 Vec<Rc<SlicedCsr>>,
@@ -819,6 +918,7 @@ impl Tape {
             Op::MatMul(a, b) => Plan::MatMul(*a, *b),
             Op::Spmm { adj, x, kernel } => Plan::Spmm(Rc::clone(adj), *x, *kernel),
             Op::SpmmSliced { adj, x, s_per } => Plan::SpmmSliced(Rc::clone(adj), *x, *s_per),
+            Op::SpmmSlicedRect { adj_t, x, .. } => Plan::SpmmSlicedRect(Rc::clone(adj_t), *x),
             Op::SpmmPartition {
                 overlap,
                 exclusives,
@@ -895,6 +995,15 @@ impl Tape {
                 if self.requires(x) {
                     let handle = k::DeviceSliced::resident(adj);
                     let dx = k::spmm_sliced_parallel(gpu, s, &handle, &g, s_per)?;
+                    self.accumulate(gpu, x, dx)?;
+                }
+            }
+            Plan::SpmmSlicedRect(adj_t, x) => {
+                if self.requires(x) {
+                    // dX = adjᵀ g via the stored transpose — no symmetry
+                    // assumption for rectangular slices.
+                    let handle = k::DeviceSliced::resident(adj_t);
+                    let dx = k::spmm_sliced_parallel(gpu, s, &handle, &g, 1)?;
                     self.accumulate(gpu, x, dx)?;
                 }
             }
@@ -1346,6 +1455,106 @@ mod tests {
         let gw = gw.unwrap();
         let nw = numeric_grad(&mut gpu, &w, |gpu| run(gpu, &w, false).0);
         assert!(gw.approx_eq(&nw, 2e-2), "analytic {gw:?} numeric {nw:?}");
+    }
+
+    #[test]
+    fn rect_sliced_spmm_uses_transpose_in_backward() {
+        let (mut gpu, s) = setup();
+        // Asymmetric 4×4 graph; forward aggregates only the row slice
+        // [1, 3) against all 4 feature rows — a genuinely rectangular op.
+        let full = Csr::from_edges(4, 4, &[(0, 1), (1, 0), (1, 3), (2, 0), (2, 3), (3, 2)]);
+        let local = full.slice_row_range(1, 3);
+        let adj = Rc::new(SlicedCsr::from_csr(&local));
+        let adj_t = Rc::new(SlicedCsr::from_csr(&local.transpose()));
+        let x_host = uniform(&mut seeded_rng(50), 4, 2, 1.0);
+        let w = shared(&mut gpu, uniform(&mut seeded_rng(51), 2, 2, 1.0));
+        let target = uniform(&mut seeded_rng(52), 2, 2, 1.0);
+
+        let run = |gpu: &mut Gpu, w: &SharedParam, want_grad: bool| {
+            let mut tape = Tape::new(s);
+            let x = tape.input(DeviceMatrix::alloc(gpu, x_host.clone()).unwrap());
+            let wv = tape.param(w);
+            let h = tape.matmul(gpu, x, wv, KernelCategory::Update).unwrap();
+            let agg = tape
+                .spmm_sliced_rect(gpu, Rc::clone(&adj), Rc::clone(&adj_t), h)
+                .unwrap();
+            let loss = tape.mse_loss(gpu, agg, &target);
+            let (value, grad) = if want_grad {
+                tape.backward_mse(gpu, agg, &target).unwrap();
+                (Some(tape.host(agg)), Some(tape.grad(wv).unwrap()))
+            } else {
+                (None, None)
+            };
+            tape.finish(gpu);
+            (loss, value, grad)
+        };
+
+        let (_, value, gw) = run(&mut gpu, &w, true);
+        // Value check against the dense reference on the row slice.
+        let h_ref = pipad_tensor::gemm(&x_host, &w.borrow().host().clone());
+        let expect = local.spmm_dense(&h_ref);
+        assert!(value.unwrap().approx_eq(&expect, 1e-5));
+        // Gradient check: backward must route through the transpose.
+        let gw = gw.unwrap();
+        let nw = numeric_grad(&mut gpu, &w, |gpu| run(gpu, &w, false).0);
+        assert!(gw.approx_eq(&nw, 2e-2), "analytic {gw:?} numeric {nw:?}");
+    }
+
+    #[test]
+    fn input_grad_leaf_receives_gradient() {
+        let (mut gpu, s) = setup();
+        let target = Matrix::zeros(2, 2);
+        let mut tape = Tape::new(s);
+        let a = tape.input(DeviceMatrix::alloc(&mut gpu, Matrix::full(2, 2, 1.0)).unwrap());
+        let halo = tape.input_grad(DeviceMatrix::alloc(&mut gpu, Matrix::full(2, 2, 2.0)).unwrap());
+        let h = tape.add(&mut gpu, a, halo, KernelCategory::Other).unwrap();
+        tape.backward_mse(&mut gpu, h, &target).unwrap();
+        // Unlike a plain input, the grad-carrying leaf keeps its gradient.
+        assert!(tape.grad(a).is_none());
+        let g = tape.grad(halo).expect("halo leaf keeps its gradient");
+        assert_eq!(g.shape(), (2, 2));
+        assert!(g.as_slice().iter().all(|&v| v != 0.0));
+        tape.finish(&mut gpu);
+    }
+
+    #[test]
+    fn seed_only_backward_merges_with_prior_sweep() {
+        let (mut gpu, s) = setup();
+        let x_host = uniform(&mut seeded_rng(60), 3, 2, 1.0);
+        let w = shared(&mut gpu, uniform(&mut seeded_rng(61), 2, 2, 1.0));
+        let seed_a = uniform(&mut seeded_rng(62), 3, 2, 1.0);
+        let seed_b = uniform(&mut seeded_rng(63), 3, 2, 1.0);
+
+        // Two sweeps (seed_a then seed_only seed_b) must equal one combined
+        // sweep with seed_a + seed_b — gradients are linear in the seed.
+        let run = |gpu: &mut Gpu, seeds: &[&Matrix]| {
+            let mut tape = Tape::new(s);
+            let x = tape.input(DeviceMatrix::alloc(gpu, x_host.clone()).unwrap());
+            let wv = tape.param(&w);
+            let h = tape.matmul(gpu, x, wv, KernelCategory::Update).unwrap();
+            let h = tape.tanh(gpu, h, KernelCategory::Update).unwrap();
+            for (i, seed) in seeds.iter().enumerate() {
+                let dm = DeviceMatrix::alloc(gpu, (*seed).clone_in()).unwrap();
+                if i == 0 {
+                    tape.backward_from(gpu, h, dm).unwrap();
+                } else {
+                    tape.backward_seed_only(gpu, h, dm).unwrap();
+                }
+            }
+            let g = tape.grad(wv).unwrap();
+            tape.finish(gpu);
+            g
+        };
+
+        let staged = run(&mut gpu, &[&seed_a, &seed_b]);
+        let mut combined_seed = seed_a.clone_in();
+        combined_seed.add_assign(&seed_b);
+        let combined = run(&mut gpu, &[&combined_seed]);
+        assert!(
+            staged.approx_eq(&combined, 1e-5),
+            "staged {staged:?} combined {combined:?}"
+        );
+        combined_seed.recycle();
     }
 
     #[test]

@@ -20,6 +20,7 @@
 //!   chaos    deterministic fault injection + recovery demonstration
 //!   resume   kill-and-resume determinism (checkpoint/restore bit-identity)
 //!   alloc    host allocation profile (heap + buffer-pool counters per epoch)
+//!   multigpu data-parallel scaling curve (halo traffic, allreduce, SM utilization)
 //!   all      everything (one grid pass shared by fig10/table2)
 //! ```
 //!
@@ -27,8 +28,8 @@
 //! (default `results/`).
 
 use pipad_bench::{
-    ablation, alloc, breakdown, chaos, fig11, fig12, fig5, fig9, grid, host_parallel, resume,
-    table1, trace, RunScale,
+    ablation, alloc, breakdown, chaos, fig11, fig12, fig5, fig9, grid, host_parallel, multigpu,
+    resume, table1, trace, RunScale,
 };
 use pipad_tensor::CountingAllocator;
 
@@ -68,7 +69,7 @@ fn parse_args() -> Args {
                 out_dir = PathBuf::from(argv.get(i).cloned().unwrap_or_default());
             }
             "--help" | "-h" => {
-                println!("usage: repro <table1|fig3|fig4|fig5|fig9|fig10|table2|grid|fig11|fig12|trace|chaos|resume|alloc|all> [--scale tiny|laptop] [--out dir]");
+                println!("usage: repro <table1|fig3|fig4|fig5|fig9|fig10|table2|grid|fig11|fig12|trace|chaos|resume|alloc|multigpu|all> [--scale tiny|laptop] [--out dir]");
                 std::process::exit(0);
             }
             other => experiment = other.to_string(),
@@ -180,6 +181,13 @@ fn main() {
             emit(&args.out_dir, "alloc", &alloc::render(&models));
             let path = args.out_dir.join("alloc.json");
             fs::write(&path, alloc::render_json(&models)).expect("write alloc.json");
+            eprintln!("[repro] wrote {}", path.display());
+        }
+        "multigpu" => {
+            let art = multigpu::run(args.scale);
+            emit(&args.out_dir, "multigpu", &art.summary);
+            let path = args.out_dir.join("multigpu.json");
+            fs::write(&path, &art.json).expect("write multigpu.json");
             eprintln!("[repro] wrote {}", path.display());
         }
         "all" => {

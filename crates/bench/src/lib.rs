@@ -18,6 +18,7 @@
 //! | [`chaos`] | extension: deterministic fault injection + recovery demonstration |
 //! | [`resume`] | extension: kill-and-resume determinism (checkpoint/restore bit-identity) |
 //! | [`alloc`] | extension: host allocation profile — heap/pool counters per preparing vs steady epoch |
+//! | [`multigpu`] | extension: data-parallel scaling — halo traffic, allreduce cost, per-device utilization (§4.5) |
 //!
 //! Run everything with the `repro` binary:
 //!
@@ -35,6 +36,7 @@ pub mod fig5;
 pub mod fig9;
 pub mod grid;
 pub mod host_parallel;
+pub mod multigpu;
 pub mod resume;
 pub mod table1;
 pub mod trace;

@@ -71,6 +71,6 @@ pub use checkpoint::{
 pub use exec::PipadExecutor;
 pub use multigpu::{partition_rows, train_data_parallel, MultiGpuConfig, MultiTrainReport};
 pub use prep::{PartitionCatalog, PartitionPlan};
-pub use reuse::{CpuAggStore, GpuAggCache, InterFrameReuse};
+pub use reuse::{shard_key, CpuAggStore, GpuAggCache, InterFrameReuse};
 pub use trainer::{train_pipad, PipadConfig};
 pub use tuner::{DynamicTuner, FrameProfile, OfflineTable, SperDecision};

@@ -18,6 +18,16 @@ use std::cell::RefCell;
 use std::collections::{BTreeMap, HashMap};
 use std::rc::Rc;
 
+/// Composite [`CpuAggStore`] key for sharded aggregation entries: shard
+/// `shard` of snapshot `snapshot` under a fixed `shards`-way vertex split.
+/// The multi-GPU trainer caches per-*virtual-shard* row blocks (never
+/// per-device ones), so the key — and therefore every hit/miss — is
+/// independent of how many devices host the shards.
+pub fn shard_key(snapshot: usize, shard: usize, shards: usize) -> usize {
+    assert!(shard < shards, "shard index out of range");
+    snapshot * shards + shard
+}
+
 /// CPU-side aggregation store (always unbounded — host memory is large).
 #[derive(Debug, Default)]
 pub struct CpuAggStore {

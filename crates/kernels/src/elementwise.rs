@@ -443,6 +443,47 @@ pub fn mse_grad(
     DeviceMatrix::alloc(gpu, g)
 }
 
+/// Raw sum of squared errors (no normalization) between prediction and
+/// target. The multi-GPU path needs the *unnormalized* partial sum per
+/// vertex shard: summing shard SSEs in a canonical order and dividing once
+/// by the global element count reproduces the single-device
+/// [`mse_loss`] bit for bit, which post-hoc rescaling of per-shard means
+/// (`(x/a)·(a/b)`) would not.
+pub fn sse_loss(gpu: &mut Gpu, stream: StreamId, pred: &DeviceMatrix, target: &Matrix) -> f32 {
+    assert_eq!(pred.host().shape(), target.shape());
+    let n = pred.host().len() as u64;
+    gpu.launch(
+        stream,
+        streaming_cost("sse_loss", KernelCategory::Loss, 2 * n, 1, 3),
+    );
+    let diff = pred.host().zip(target, |a, b| a - b);
+    let sse = diff.norm_sq();
+    diff.recycle();
+    sse
+}
+
+/// MSE gradient with an explicit denominator: `2 (pred − target) / denom`.
+/// A vertex shard seeds its backward pass with the *globally* denominated
+/// gradient (`denom` = full-graph element count), so per-shard gradients
+/// are exactly the corresponding rows of the single-device [`mse_grad`].
+pub fn mse_grad_denom(
+    gpu: &mut Gpu,
+    stream: StreamId,
+    pred: &DeviceMatrix,
+    target: &Matrix,
+    denom: u64,
+) -> Result<DeviceMatrix, OomError> {
+    let n = pred.host().len() as u64;
+    gpu.launch(
+        stream,
+        streaming_cost("mse_grad", KernelCategory::Loss, 2 * n, n, 2),
+    );
+    let g = pred
+        .host()
+        .zip(target, |a, b| 2.0 * (a - b) / denom.max(1) as f32);
+    DeviceMatrix::alloc(gpu, g)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -553,6 +594,27 @@ mod tests {
         assert!((loss - 2.5).abs() < 1e-6); // (1 + 4) / 2
         let grad = mse_grad(&mut g, s, &pred, &target).unwrap();
         assert_eq!(grad.host().as_slice(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn sharded_sse_and_denominated_grad_match_single_device() {
+        let (mut g, s) = setup();
+        let pred = dev(&mut g, s, Matrix::from_vec(2, 2, vec![1.0, 3.0, 2.0, 0.0]));
+        let target = Matrix::from_vec(2, 2, vec![0.0, 1.0, 0.0, 1.0]);
+        let whole = mse_loss(&mut g, s, &pred, &target);
+        // shard rows: SSE partials summed then divided once
+        let top = dev(&mut g, s, pred.host().slice_rows(0, 1));
+        let bot = dev(&mut g, s, pred.host().slice_rows(1, 2));
+        let sse = sse_loss(&mut g, s, &top, &target.slice_rows(0, 1))
+            + sse_loss(&mut g, s, &bot, &target.slice_rows(1, 2));
+        assert_eq!((sse / 4.0).to_bits(), whole.to_bits());
+        // globally denominated shard gradient == rows of the full gradient
+        let full_grad = mse_grad(&mut g, s, &pred, &target).unwrap();
+        let shard_grad = mse_grad_denom(&mut g, s, &bot, &target.slice_rows(1, 2), 4).unwrap();
+        assert_eq!(
+            shard_grad.host().as_slice(),
+            &full_grad.host().as_slice()[2..4]
+        );
     }
 
     #[test]

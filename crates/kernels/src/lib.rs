@@ -34,9 +34,10 @@ mod transfer;
 pub use attention::{edge_scores, edge_softmax, spmm_sliced_parallel_values, spmm_weighted};
 pub use device_data::{DeviceCsr, DeviceMatrix, DeviceSliced};
 pub use elementwise::{
-    add, add_bias, col_sums, concat_cols, concat_rows, hadamard, mse_grad, mse_loss, relu,
-    relu_grad_mask, row_scale, row_scale_multi, scale, sgd_step, sigmoid, sigmoid_grad_from_out,
-    slice_cols, slice_rows, split_cols, sub, tanh_act, tanh_grad_from_out,
+    add, add_bias, col_sums, concat_cols, concat_rows, hadamard, mse_grad, mse_grad_denom,
+    mse_loss, relu, relu_grad_mask, row_scale, row_scale_multi, scale, sgd_step, sigmoid,
+    sigmoid_grad_from_out, slice_cols, slice_rows, split_cols, sse_loss, sub, tanh_act,
+    tanh_grad_from_out,
 };
 pub use gemm::{
     gemm_device, gemm_device_weight_resident, gemm_nt_device, gemm_tn_device, gemm_weight_reuse,

@@ -25,6 +25,7 @@ mod csr;
 pub mod overlap;
 mod sliced;
 
+pub use balance::{csr_row_work, partition_rows_balanced};
 pub use coo::Coo;
 pub use csr::Csr;
 pub use overlap::{extract_overlap, graph_diff, overlap_rate, OverlapSplit};

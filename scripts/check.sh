@@ -8,9 +8,12 @@
 # allocation-budget gate (steady-state epochs must stay ≥95% below the
 # preparing epochs' hot-path heap allocations, under a pinned budget),
 # the buffer-pool kill-switch equivalence gate, the chaos gate
-# (`repro chaos` twice, diffing the fault-injection reports), and the
+# (`repro chaos` twice, diffing the fault-injection reports), the
 # resume gate (kill-and-resume bit-identity for every model, pool on and
-# off, threads 1 and 4, plus a `repro resume` report thread-diff).
+# off, threads 1 and 4, plus a `repro resume` report thread-diff), and
+# the multi-GPU gate (loss trajectories bit-identical across device
+# counts for every model at both thread counts, plus a `repro multigpu`
+# scaling-report thread-diff).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -40,6 +43,7 @@ PIPAD_THREADS=4 cargo test -q --test trace_golden
 
 echo "== allocation budget (counting allocator, zero-alloc steady state) =="
 cargo test -q --release --test alloc_budget
+cargo test -q --release --test multigpu_alloc
 
 echo "== pool equivalence (PIPAD_NO_POOL=1 bit-identity) =="
 PIPAD_NO_POOL=1 cargo test -q --test pool_equivalence
@@ -69,5 +73,20 @@ PIPAD_THREADS=4 cargo run -q --release -p pipad-bench --bin repro -- \
 diff "$scratch_dir/r1/resume.json" "$scratch_dir/r4/resume.json"
 diff "$scratch_dir/r1/resume.txt" "$scratch_dir/r4/resume.txt"
 echo "resume report byte-identical across thread counts"
+
+echo "== multi-GPU equivalence (bit-identical across device counts) @ PIPAD_THREADS=1 =="
+PIPAD_THREADS=1 cargo test -q --release --test multigpu_equivalence
+
+echo "== multi-GPU equivalence @ PIPAD_THREADS=4 =="
+PIPAD_THREADS=4 cargo test -q --release --test multigpu_equivalence
+
+echo "== multi-GPU determinism (repro multigpu @ PIPAD_THREADS=1 vs =4) =="
+PIPAD_THREADS=1 cargo run -q --release -p pipad-bench --bin repro -- \
+    multigpu --scale tiny --out "$scratch_dir/m1"
+PIPAD_THREADS=4 cargo run -q --release -p pipad-bench --bin repro -- \
+    multigpu --scale tiny --out "$scratch_dir/m4"
+diff "$scratch_dir/m1/multigpu.json" "$scratch_dir/m4/multigpu.json"
+diff "$scratch_dir/m1/multigpu.txt" "$scratch_dir/m4/multigpu.txt"
+echo "multigpu report byte-identical across thread counts"
 
 echo "== all checks passed =="

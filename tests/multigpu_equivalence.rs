@@ -1,0 +1,95 @@
+//! Differential equivalence gate for multi-GPU data-parallel training.
+//!
+//! The virtual-shard design pins the vertex partition (and with it every
+//! floating-point reduction order) independently of the device count, so
+//! distributing training must be a *pure placement change*: for each of
+//! the three paper models, the per-epoch loss trajectory of an `n_gpus ∈
+//! {2, 4}` run must equal the single-GPU run **bit for bit** — with the
+//! host buffer pool on or off — and the per-device Chrome traces must be
+//! byte-identical across host-pool thread counts.
+
+use pipad::{train_data_parallel, MultiGpuConfig, MultiTrainReport};
+use pipad_dyngraph::{DatasetId, DynamicGraph, Scale};
+use pipad_gpu_sim::validate_json;
+use pipad_models::{ModelKind, TrainingConfig};
+use pipad_pool::with_threads;
+use pipad_tensor::{reset_pool, with_pool_enabled};
+
+fn graph() -> DynamicGraph {
+    DatasetId::Covid19England.gen_config(Scale::Tiny).generate()
+}
+
+fn cfg() -> TrainingConfig {
+    TrainingConfig {
+        window: 8,
+        epochs: 4,
+        preparing_epochs: 2,
+        lr: 0.01,
+        seed: 7,
+    }
+}
+
+fn run(model: ModelKind, g: &DynamicGraph, n_gpus: usize) -> MultiTrainReport {
+    train_data_parallel(
+        model,
+        g,
+        8,
+        &cfg(),
+        &MultiGpuConfig {
+            n_gpus,
+            ..Default::default()
+        },
+    )
+    .expect("train")
+}
+
+fn loss_bits(r: &MultiTrainReport) -> Vec<u32> {
+    r.epochs.iter().map(|e| e.mean_loss.to_bits()).collect()
+}
+
+#[test]
+fn device_count_and_pool_do_not_change_losses() {
+    let g = graph();
+    for model in ModelKind::ALL {
+        reset_pool();
+        let base = with_pool_enabled(true, || loss_bits(&run(model, &g, 1)));
+        assert!(
+            base.iter().any(|&b| f32::from_bits(b).is_finite()),
+            "{model:?}: reference run produced no finite losses"
+        );
+        for n_gpus in [2usize, 4] {
+            for pool_on in [true, false] {
+                reset_pool();
+                let multi = with_pool_enabled(pool_on, || loss_bits(&run(model, &g, n_gpus)));
+                assert_eq!(
+                    base, multi,
+                    "{model:?}: losses diverged (n_gpus={n_gpus}, pool_on={pool_on})"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn per_device_traces_are_thread_invariant() {
+    let g = graph();
+    for model in ModelKind::ALL {
+        reset_pool();
+        let base = with_threads(1, || run(model, &g, 2));
+        assert_eq!(base.traces.len(), 2);
+        for t in &base.traces {
+            validate_json(t).expect("well-formed per-device trace");
+        }
+        reset_pool();
+        let four = with_threads(4, || run(model, &g, 2));
+        assert_eq!(
+            base.traces, four.traces,
+            "{model:?}: per-device traces diverged across thread counts"
+        );
+        assert_eq!(
+            loss_bits(&base),
+            loss_bits(&four),
+            "{model:?}: losses diverged across thread counts"
+        );
+    }
+}

@@ -6,7 +6,9 @@ use pipad_repro::gpu_sim::{schedule_blocks, DeviceConfig, Gpu, SimNanos};
 use pipad_repro::kernels::{
     spmm_coo_scatter, spmm_gespmm, spmm_sliced_parallel, upload_csr, upload_matrix, upload_sliced,
 };
-use pipad_repro::sparse::{extract_overlap, graph_diff, Csr, SlicedCsr};
+use pipad_repro::sparse::{
+    csr_row_work, extract_overlap, graph_diff, partition_rows_balanced, Csr, SlicedCsr,
+};
 use pipad_repro::tensor::Matrix;
 use proptest::prelude::*;
 use std::collections::HashSet;
@@ -260,5 +262,97 @@ proptest! {
         for (i, m) in mats.iter().enumerate() {
             prop_assert_eq!(&rcat.slice_rows(i * rows, (i + 1) * rows), m);
         }
+    }
+}
+
+/// Map a balanced partition to a per-row owner vector.
+fn owners(ranges: &[(usize, usize)], n: usize) -> Vec<usize> {
+    let mut own = vec![usize::MAX; n];
+    for (p, &(lo, hi)) in ranges.iter().enumerate() {
+        own[lo..hi].fill(p);
+    }
+    own
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn balanced_partition_is_a_disjoint_cover(g in sym_graph(48, 160), parts in 1usize..6) {
+        // Whatever the degree distribution, the shard ranges must be
+        // contiguous, disjoint, nonempty, and cover every vertex.
+        let work = csr_row_work(&g);
+        let ranges = partition_rows_balanced(&work, parts);
+        prop_assert!(!ranges.is_empty());
+        prop_assert!(ranges.len() <= parts);
+        prop_assert_eq!(ranges[0].0, 0);
+        prop_assert_eq!(ranges[ranges.len() - 1].1, work.len());
+        for w in ranges.windows(2) {
+            prop_assert_eq!(w[0].1, w[1].0, "ranges must tile contiguously");
+        }
+        for &(lo, hi) in &ranges {
+            prop_assert!(lo < hi, "every shard owns at least one row");
+        }
+    }
+
+    #[test]
+    fn balanced_partition_bounds_nnz_imbalance(
+        n in 32usize..96,
+        parts in 2usize..5,
+        seed in 0u64..500,
+    ) {
+        // With per-row work in a narrow band (no mega-hubs) and plenty of
+        // rows per part, the greedy prefix split must keep the heaviest
+        // shard within 1.10× of the mean shard work.
+        let work: Vec<u64> = (0..n)
+            .map(|r| 8 + (r as u64 * 2654435761 + seed * 40503) % 5)
+            .collect();
+        let ranges = partition_rows_balanced(&work, parts);
+        prop_assert_eq!(ranges.len(), parts);
+        let shard_work: Vec<u64> = ranges
+            .iter()
+            .map(|&(lo, hi)| work[lo..hi].iter().sum())
+            .collect();
+        let mean = work.iter().sum::<u64>() as f64 / parts as f64;
+        let max = *shard_work.iter().max().unwrap() as f64;
+        prop_assert!(
+            max <= 1.10 * mean,
+            "imbalance {:.3} exceeds 1.10 (shards {:?})",
+            max / mean,
+            shard_work
+        );
+    }
+
+    #[test]
+    fn balanced_partition_is_stable_under_edge_churn(
+        n in 40usize..96,
+        parts in 2usize..5,
+        seed in 0u64..500,
+    ) {
+        // ~10% of rows gain or lose a few edges between snapshots; the
+        // partition of the perturbed work vector must keep at least 75%
+        // of rows with their original shard.
+        let base: Vec<u64> = (0..n)
+            .map(|r| 8 + (r as u64 * 2654435761 + seed * 97) % 8)
+            .collect();
+        let churned: Vec<u64> = base
+            .iter()
+            .enumerate()
+            .map(|(r, &w)| {
+                if (r as u64 + seed).is_multiple_of(10) {
+                    // alternate add/remove a couple of edges, floor at 1
+                    if r % 2 == 0 { w + 2 } else { w.saturating_sub(2).max(1) }
+                } else {
+                    w
+                }
+            })
+            .collect();
+        let a = owners(&partition_rows_balanced(&base, parts), n);
+        let b = owners(&partition_rows_balanced(&churned, parts), n);
+        let moved = a.iter().zip(&b).filter(|(x, y)| x != y).count();
+        prop_assert!(
+            moved * 4 <= n,
+            "{moved}/{n} rows changed shards under ~10% churn"
+        );
     }
 }
