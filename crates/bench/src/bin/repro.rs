@@ -21,6 +21,7 @@
 //!   resume   kill-and-resume determinism (checkpoint/restore bit-identity)
 //!   alloc    host allocation profile (heap + buffer-pool counters per epoch)
 //!   multigpu data-parallel scaling curve (halo traffic, allreduce, SM utilization)
+//!   serve    online inference serving (latency percentiles, throughput, batching)
 //!   all      everything (one grid pass shared by fig10/table2)
 //! ```
 //!
@@ -29,7 +30,7 @@
 
 use pipad_bench::{
     ablation, alloc, breakdown, chaos, fig11, fig12, fig5, fig9, grid, host_parallel, multigpu,
-    resume, table1, trace, RunScale,
+    resume, serve, table1, trace, RunScale,
 };
 use pipad_tensor::CountingAllocator;
 
@@ -69,7 +70,7 @@ fn parse_args() -> Args {
                 out_dir = PathBuf::from(argv.get(i).cloned().unwrap_or_default());
             }
             "--help" | "-h" => {
-                println!("usage: repro <table1|fig3|fig4|fig5|fig9|fig10|table2|grid|fig11|fig12|trace|chaos|resume|alloc|multigpu|all> [--scale tiny|laptop] [--out dir]");
+                println!("usage: repro <table1|fig3|fig4|fig5|fig9|fig10|table2|grid|fig11|fig12|trace|chaos|resume|alloc|multigpu|serve|all> [--scale tiny|laptop] [--out dir]");
                 std::process::exit(0);
             }
             other => experiment = other.to_string(),
@@ -188,6 +189,13 @@ fn main() {
             emit(&args.out_dir, "multigpu", &art.summary);
             let path = args.out_dir.join("multigpu.json");
             fs::write(&path, &art.json).expect("write multigpu.json");
+            eprintln!("[repro] wrote {}", path.display());
+        }
+        "serve" => {
+            let art = serve::run(args.scale);
+            emit(&args.out_dir, "serve", &art.summary);
+            let path = args.out_dir.join("serve.json");
+            fs::write(&path, &art.json).expect("write serve.json");
             eprintln!("[repro] wrote {}", path.display());
         }
         "all" => {

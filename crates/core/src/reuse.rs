@@ -161,6 +161,13 @@ impl GpuAggCache {
         self.misses
     }
 
+    /// Whether `snapshot` is resident, without touching the hit/miss
+    /// counters (the serving promoter probes before `put` and must not
+    /// distort the statistics the reports pin).
+    pub fn contains(&self, snapshot: usize) -> bool {
+        self.entries.contains_key(&snapshot)
+    }
+
     /// Device-resident aggregation for `snapshot`, if cached.
     pub fn get(&mut self, snapshot: usize) -> Option<SharedParam> {
         match self.entries.get(&snapshot) {

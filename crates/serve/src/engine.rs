@@ -1,0 +1,237 @@
+//! The serving engine: checkpoint-loaded parameters + the training-path
+//! forward on the simulated device.
+//!
+//! The engine deliberately reuses the exact machinery of `train_pipad`'s
+//! steady epochs — [`GraphAnalyzer`], [`PartitionCatalog`],
+//! [`PipadExecutor`] staged with the same [`ExecOptions`], and the model's
+//! own `forward_frame` — so a served logit is **bit-identical** to what
+//! the trainer would have computed for the same frame with the same
+//! parameters (the contract `tests/serve_equivalence.rs` pins).
+//!
+//! Parameter loading goes through [`pipad::restore_checkpoint`]: the
+//! checkpoint's fingerprint must match the (trainer, model, dataset,
+//! hyper-parameter) identity this engine was configured for, and any
+//! mismatch surfaces as a typed [`ServeError::Ckpt`] — never a panic.
+//! Restoring also warm-starts both inter-frame reuse tiers from the
+//! checkpoint, so the first requests already skip aggregation work the
+//! training run paid for.
+
+use crate::ServeError;
+use pipad::exec::{ExecOptions, PipadExecutor};
+use pipad::{
+    restore_checkpoint, run_fingerprint, GraphAnalyzer, InterFrameReuse, PartitionCatalog,
+};
+use pipad_autograd::Tape;
+use pipad_ckpt::{latest_checkpoint, Checkpoint};
+use pipad_dyngraph::{DynamicGraph, FrameIter};
+use pipad_gpu_sim::{DeviceFault, Gpu, SimNanos, StreamId};
+use pipad_models::{build_model, DgnnModel, ModelKind, TrainingConfig};
+use pipad_tensor::Matrix;
+use std::path::Path;
+
+/// Serving-engine knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct EngineConfig {
+    /// Hidden dimension the checkpointed model was trained with (part of
+    /// the fingerprint — a mismatch is a typed restore error).
+    pub hidden: usize,
+    /// Snapshots-per-partition for the staged forward.
+    pub s_per: usize,
+    /// Consult/populate the two-tier inter-frame reuse.
+    pub inter_frame_reuse: bool,
+    /// Byte budget granted to the GPU reuse tier on top of whatever the
+    /// checkpoint restored (the tier's budget only grows).
+    pub gpu_cache_budget: u64,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            hidden: 16,
+            s_per: 4,
+            inter_frame_reuse: true,
+            gpu_cache_budget: 8 << 20,
+        }
+    }
+}
+
+/// A loaded model ready to serve frames of one dynamic graph.
+pub struct ServeEngine<'g> {
+    graph: &'g DynamicGraph,
+    model: Box<dyn DgnnModel>,
+    analyzer: GraphAnalyzer,
+    catalog: PartitionCatalog,
+    pub(crate) reuse: InterFrameReuse,
+    window: usize,
+    s_per: usize,
+    inter_frame_reuse: bool,
+    compute: StreamId,
+    copy: StreamId,
+    pub(crate) host_cursor: SimNanos,
+    /// Epochs the restored checkpoint had completed (provenance).
+    trained_epochs: usize,
+}
+
+impl<'g> ServeEngine<'g> {
+    /// Load the newest checkpoint in `dir`. Typed errors: an empty or
+    /// unreadable directory, a malformed file, or a fingerprint mismatch.
+    pub fn from_latest(
+        gpu: &mut Gpu,
+        dir: &Path,
+        model_kind: ModelKind,
+        graph: &'g DynamicGraph,
+        train_cfg: &TrainingConfig,
+        ecfg: &EngineConfig,
+    ) -> Result<Self, ServeError> {
+        let (_, path) =
+            latest_checkpoint(dir)?.ok_or_else(|| ServeError::NoCheckpoint(dir.to_path_buf()))?;
+        Self::from_checkpoint_path(gpu, &path, model_kind, graph, train_cfg, ecfg)
+    }
+
+    /// Load a specific checkpoint file (rotated/older checkpoints serve
+    /// that epoch's exact parameters).
+    pub fn from_checkpoint_path(
+        gpu: &mut Gpu,
+        path: &Path,
+        model_kind: ModelKind,
+        graph: &'g DynamicGraph,
+        train_cfg: &TrainingConfig,
+        ecfg: &EngineConfig,
+    ) -> Result<Self, ServeError> {
+        let ckpt = Checkpoint::read(path)?;
+        let fingerprint = run_fingerprint("PiPAD", model_kind, &graph.name, ecfg.hidden, train_cfg);
+        let model = build_model(
+            gpu,
+            model_kind,
+            graph.feature_dim(),
+            ecfg.hidden,
+            train_cfg.seed,
+        )?;
+        let mut host_cursor = SimNanos::ZERO;
+        let analyzer = GraphAnalyzer::run(gpu, graph, &mut host_cursor);
+        let catalog = PartitionCatalog::build(gpu, &analyzer, &mut host_cursor);
+        let mut reuse = InterFrameReuse::new(0);
+        let restored = restore_checkpoint(gpu, &ckpt, &fingerprint, model.as_ref(), &mut reuse)?;
+        reuse.gpu_cache.set_budget(ecfg.gpu_cache_budget);
+        // Serving runs on its own timeline: the clock is NOT rewound to the
+        // training run's — requests arrive on a fresh device.
+        Ok(ServeEngine {
+            graph,
+            model,
+            analyzer,
+            catalog,
+            reuse,
+            window: train_cfg.window,
+            s_per: ecfg.s_per.max(1),
+            inter_frame_reuse: ecfg.inter_frame_reuse,
+            compute: gpu.default_stream(),
+            copy: gpu.create_stream(),
+            host_cursor,
+            trained_epochs: restored.next_epoch,
+        })
+    }
+
+    /// The graph being served.
+    pub fn graph(&self) -> &'g DynamicGraph {
+        self.graph
+    }
+
+    /// Frame window size (from the training config).
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Number of servable frames.
+    pub fn n_frames(&self) -> usize {
+        FrameIter::count_frames(self.graph, self.window)
+    }
+
+    /// Epochs the restored checkpoint had completed.
+    pub fn trained_epochs(&self) -> usize {
+        self.trained_epochs
+    }
+
+    /// Evict the GPU reuse tier (the OOM recovery ladder's first rung).
+    pub(crate) fn evict_gpu_cache(&mut self, gpu: &mut Gpu) {
+        self.reuse.gpu_cache.clear(gpu);
+    }
+
+    /// Purge a frame's CPU-tier deposits (poisoned-output recovery).
+    pub(crate) fn purge_frame_deposits(&mut self, frame_start: usize) {
+        for s in frame_start..frame_start + self.window {
+            if let Some(m) = self.reuse.cpu.remove(s) {
+                m.recycle();
+            }
+        }
+    }
+
+    /// One full-frame forward through the training execution path; returns
+    /// the host-side `n × hidden_out` prediction matrix. Deposits fresh
+    /// layer-1 aggregations into the CPU reuse tier and promotes them into
+    /// the GPU tier (budget permitting) so later frames sharing snapshots
+    /// skip both the kernels and the PCIe upload.
+    pub fn forward_frame(
+        &mut self,
+        gpu: &mut Gpu,
+        frame_start: usize,
+    ) -> Result<Matrix, DeviceFault> {
+        assert!(
+            frame_start + self.window < self.graph.len() + 1,
+            "frame {frame_start} out of range"
+        );
+        // Entries below the stream's current window never recur (frames
+        // only advance): retire them before staging so the budget serves
+        // live snapshots.
+        if self.inter_frame_reuse {
+            self.reuse.gpu_cache.retire_below(gpu, frame_start);
+        }
+        let feats: Vec<&Matrix> = self.graph.snapshots[frame_start..frame_start + self.window]
+            .iter()
+            .map(|s| &s.features)
+            .collect();
+        let opts = ExecOptions {
+            s_per: self.s_per,
+            needs_adjacency_when_cached: self.model.needs_hidden_aggregation(),
+            weight_reuse: self.model.supports_weight_reuse(),
+            inter_frame_reuse: self.inter_frame_reuse,
+            use_sliced: true,
+        };
+        let mut exec = PipadExecutor::stage(
+            gpu,
+            &self.analyzer,
+            &self.catalog,
+            &feats,
+            frame_start,
+            opts,
+            self.inter_frame_reuse.then_some(&mut self.reuse),
+            self.compute,
+            self.copy,
+            &mut self.host_cursor,
+        )?;
+        let mut tape = Tape::new(self.compute);
+        let out = self.model.forward_frame(gpu, &mut tape, &mut exec)?;
+        let pred = tape.host(out.pred);
+        tape.finish(gpu);
+        exec.finish(gpu);
+
+        // Promote this frame's CPU-tier deposits to the GPU tier. Values
+        // are identical either way (the CPU store is write-once), so the
+        // promotion policy cannot perturb served bits — only PCIe traffic.
+        if self.inter_frame_reuse {
+            for g in frame_start..frame_start + self.window {
+                if self.reuse.gpu_cache.contains(g) {
+                    continue;
+                }
+                let Some(m) = self.reuse.cpu.get(g).map(Matrix::clone_in) else {
+                    continue;
+                };
+                match self.reuse.gpu_cache.put(gpu, g, m) {
+                    Ok(_) => {}
+                    // Best-effort: a full device just stops promoting.
+                    Err(_) => break,
+                }
+            }
+        }
+        Ok(pred)
+    }
+}

@@ -1,0 +1,515 @@
+//! The open-loop serving simulation: request plan → micro-batches →
+//! batched forwards on the simulated device, with per-request tracing and
+//! latency accounting.
+//!
+//! Faults are recovered per batch, mirroring the trainer's ladder
+//! (DESIGN.md §3.9): the first OOM evicts the GPU reuse tier and retries;
+//! a second OOM or an exhausted-transfer fault rolls the batch's
+//! allocations back and rejects its requests with a typed
+//! [`RejectReason::DeviceFault`]; non-finite logits reject the batch and
+//! purge both reuse tiers so the poison cannot be re-served; a crash
+//! fault ends the run with a typed [`ServeError`]. Every recovery
+//! decision lands in the trace as a `recovery` instant on the control
+//! lane — serving never panics under a seeded fault plan.
+
+use crate::batcher::{form_batches, Batch, BatchPolicy};
+use crate::engine::ServeEngine;
+use crate::request::{generate_requests, Request, RequestGenConfig};
+use crate::{RejectReason, ServeError};
+use pipad_gpu_sim::{ArgValue, DeviceFault, Gpu, Lane, SimNanos, TraceKind};
+use pipad_tensor::Matrix;
+use std::collections::BTreeMap;
+
+/// Everything one serving simulation needs besides the engine.
+#[derive(Clone, Debug, Default)]
+pub struct ServeSimConfig {
+    /// Micro-batching policy.
+    pub batch: BatchPolicy,
+    /// Request-plan generation.
+    pub gen: RequestGenConfig,
+}
+
+/// What happened to one request.
+#[derive(Clone, Debug)]
+pub enum RequestOutcome {
+    /// Served: logit rows for the request's target nodes.
+    Served {
+        /// Batch sequence number that carried it.
+        batch: usize,
+        /// Size of that batch.
+        batch_size: usize,
+        /// Completion time on the simulated clock.
+        completed: SimNanos,
+        /// `targets × d_out` logit rows, bit-exact training-forward output.
+        logits: Matrix,
+    },
+    /// Rejected with a typed reason (backpressure, fault, poison).
+    Rejected {
+        /// The typed rejection.
+        reason: RejectReason,
+    },
+}
+
+/// One request's full record.
+#[derive(Clone, Debug)]
+pub struct RequestRecord {
+    /// The request as generated.
+    pub request: Request,
+    /// Its outcome.
+    pub outcome: RequestOutcome,
+}
+
+impl RequestRecord {
+    /// Enqueue-to-completion latency (served requests only).
+    pub fn latency(&self) -> Option<SimNanos> {
+        match &self.outcome {
+            RequestOutcome::Served { completed, .. } => Some(*completed - self.request.arrival),
+            RequestOutcome::Rejected { .. } => None,
+        }
+    }
+}
+
+/// Nearest-rank latency percentiles over the served requests.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LatencySummary {
+    /// Median.
+    pub p50: SimNanos,
+    /// 95th percentile.
+    pub p95: SimNanos,
+    /// 99th percentile.
+    pub p99: SimNanos,
+    /// Worst case.
+    pub max: SimNanos,
+}
+
+impl LatencySummary {
+    /// Nearest-rank percentiles of `latencies` (sorted internally).
+    pub fn from_latencies(mut latencies: Vec<SimNanos>) -> Self {
+        if latencies.is_empty() {
+            return LatencySummary::default();
+        }
+        latencies.sort_unstable();
+        let n = latencies.len();
+        let rank = |q: usize| latencies[(q * n).div_ceil(100).clamp(1, n) - 1];
+        LatencySummary {
+            p50: rank(50),
+            p95: rank(95),
+            p99: rank(99),
+            max: latencies[n - 1],
+        }
+    }
+}
+
+/// The serving run's full result.
+pub struct ServeReport {
+    /// Per-request records in request-id order.
+    pub records: Vec<RequestRecord>,
+    /// Batches executed (including rejected ones).
+    pub batches: usize,
+    /// Requests served.
+    pub served: usize,
+    /// Requests rejected at admission (queue full).
+    pub rejected_queue_full: usize,
+    /// Requests rejected by a device fault.
+    pub rejected_fault: usize,
+    /// Requests rejected for non-finite logits.
+    pub rejected_poisoned: usize,
+    /// Admission-queue high-water mark.
+    pub queue_high_water: usize,
+    /// Batch-size histogram (size → batches).
+    pub batch_size_histogram: BTreeMap<usize, usize>,
+    /// Latency percentiles over served requests.
+    pub latency: LatencySummary,
+    /// Served requests per second of simulated horizon.
+    pub throughput_rps: f64,
+    /// GPU reuse-tier hits observed during serving.
+    pub gpu_reuse_hits: u64,
+    /// GPU reuse-tier misses observed during serving.
+    pub gpu_reuse_misses: u64,
+    /// Epochs the restored checkpoint had completed (provenance).
+    pub trained_epochs: usize,
+}
+
+impl ServeReport {
+    /// Concatenated little-endian logit bits of every served request, in
+    /// request order — the value-determinism digest the reports pin.
+    pub fn served_logit_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        for r in &self.records {
+            if let RequestOutcome::Served { logits, .. } = &r.outcome {
+                for row in 0..logits.rows() {
+                    for col in 0..logits.cols() {
+                        out.extend_from_slice(&logits[(row, col)].to_bits().to_le_bytes());
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Slice the target rows of a full-graph prediction into a dense
+/// `targets × d` response matrix.
+fn slice_targets(pred: &Matrix, targets: &[usize]) -> Matrix {
+    Matrix::from_fn(targets.len(), pred.cols(), |r, c| pred[(targets[r], c)])
+}
+
+/// Run the open-loop serving simulation. Deterministic in (engine state,
+/// config): byte-identical traces and reports across host thread counts
+/// and buffer-pool settings.
+pub fn serve_open_loop(
+    gpu: &mut Gpu,
+    engine: &mut ServeEngine<'_>,
+    cfg: &ServeSimConfig,
+) -> Result<ServeReport, ServeError> {
+    let requests = generate_requests(&cfg.gen, engine.n_frames(), engine.graph().n());
+    let (batches, rejected, stats) = form_batches(&requests, &cfg.batch);
+
+    let mut outcomes: BTreeMap<u64, RequestOutcome> = BTreeMap::new();
+    let mut rejected_fault = 0usize;
+    let mut rejected_poisoned = 0usize;
+
+    // Backpressure rejections: instants at the arrival they bounced.
+    for (r, reason) in &rejected {
+        gpu.trace_mut().instant(
+            "enqueue",
+            Lane::Control,
+            r.arrival,
+            vec![
+                ("request", ArgValue::U64(r.id)),
+                ("frame", ArgValue::U64(r.frame as u64)),
+                ("admitted", ArgValue::Bool(false)),
+                ("reason", ArgValue::Str(reason.to_string())),
+            ],
+        );
+        outcomes.insert(
+            r.id,
+            RequestOutcome::Rejected {
+                reason: reason.clone(),
+            },
+        );
+    }
+
+    for batch in &batches {
+        run_batch(
+            gpu,
+            engine,
+            batch,
+            &mut outcomes,
+            &mut rejected_fault,
+            &mut rejected_poisoned,
+        )?;
+        if let Some(c) = gpu.take_crash() {
+            return Err(ServeError::Device(DeviceFault::Crash(c)));
+        }
+    }
+
+    let records: Vec<RequestRecord> = requests
+        .into_iter()
+        .map(|request| {
+            let outcome = outcomes
+                .remove(&request.id)
+                .expect("every request has an outcome");
+            RequestRecord { request, outcome }
+        })
+        .collect();
+
+    let latencies: Vec<SimNanos> = records.iter().filter_map(RequestRecord::latency).collect();
+    let served = latencies.len();
+    let first_arrival = records
+        .first()
+        .map(|r| r.request.arrival)
+        .unwrap_or(SimNanos::ZERO);
+    let last_completion = records
+        .iter()
+        .filter_map(|r| match &r.outcome {
+            RequestOutcome::Served { completed, .. } => Some(*completed),
+            RequestOutcome::Rejected { .. } => None,
+        })
+        .max()
+        .unwrap_or(first_arrival);
+    let horizon_ns = (last_completion - first_arrival).as_nanos().max(1);
+    let throughput_rps = served as f64 * 1e9 / horizon_ns as f64;
+
+    Ok(ServeReport {
+        records,
+        batches: batches.len(),
+        served,
+        rejected_queue_full: stats.rejected_queue_full,
+        rejected_fault,
+        rejected_poisoned,
+        queue_high_water: stats.queue_high_water,
+        batch_size_histogram: stats.size_histogram,
+        latency: LatencySummary::from_latencies(latencies),
+        throughput_rps,
+        gpu_reuse_hits: engine.reuse.gpu_cache.hits(),
+        gpu_reuse_misses: engine.reuse.gpu_cache.misses(),
+        trained_epochs: engine.trained_epochs(),
+    })
+}
+
+/// Execute one formed batch: enqueue spans for its members, a
+/// `batch_form` instant, then one `serve_forward` span per distinct frame
+/// (members are FIFO and frames nondecreasing, so frame groups are
+/// consecutive runs).
+fn run_batch(
+    gpu: &mut Gpu,
+    engine: &mut ServeEngine<'_>,
+    batch: &Batch,
+    outcomes: &mut BTreeMap<u64, RequestOutcome>,
+    rejected_fault: &mut usize,
+    rejected_poisoned: &mut usize,
+) -> Result<(), ServeError> {
+    for r in &batch.requests {
+        gpu.trace_mut().span(
+            "enqueue",
+            TraceKind::Span,
+            Lane::Control,
+            r.arrival,
+            batch.formed_at,
+            vec![
+                ("request", ArgValue::U64(r.id)),
+                ("frame", ArgValue::U64(r.frame as u64)),
+                ("admitted", ArgValue::Bool(true)),
+                ("batch", ArgValue::U64(batch.seq as u64)),
+            ],
+        );
+    }
+    gpu.trace_mut().instant(
+        "batch_form",
+        Lane::Control,
+        batch.formed_at,
+        vec![
+            ("batch", ArgValue::U64(batch.seq as u64)),
+            ("size", ArgValue::U64(batch.requests.len() as u64)),
+        ],
+    );
+
+    let batch_size = batch.requests.len();
+    let mut i = 0;
+    while i < batch_size {
+        let frame = batch.requests[i].frame;
+        let mut j = i;
+        while j < batch_size && batch.requests[j].frame == frame {
+            j += 1;
+        }
+        let group = &batch.requests[i..j];
+        i = j;
+
+        // The forward starts no earlier than the batch closed.
+        engine.host_cursor = engine.host_cursor.max(batch.formed_at);
+        let t0 = gpu.now().max(engine.host_cursor);
+        let mut attempt = 0u32;
+        let result = loop {
+            let mark = gpu.mem_mark();
+            match engine.forward_frame(gpu, frame) {
+                Ok(pred) => break Ok(pred),
+                Err(DeviceFault::Oom(e)) => {
+                    gpu.release_since(mark);
+                    let t = gpu.now().max(engine.host_cursor);
+                    if attempt == 0 {
+                        engine.evict_gpu_cache(gpu);
+                        gpu.trace_mut().instant(
+                            "recovery",
+                            Lane::Control,
+                            t,
+                            vec![
+                                ("policy", ArgValue::Str("serve_oom_evict_retry".to_string())),
+                                ("batch", ArgValue::U64(batch.seq as u64)),
+                                ("frame", ArgValue::U64(frame as u64)),
+                            ],
+                        );
+                        attempt += 1;
+                    } else {
+                        break Err(DeviceFault::Oom(e));
+                    }
+                }
+                Err(DeviceFault::Transfer(e)) => {
+                    gpu.release_since(mark);
+                    break Err(DeviceFault::Transfer(e));
+                }
+                Err(DeviceFault::Crash(c)) => {
+                    return Err(ServeError::Device(DeviceFault::Crash(c)));
+                }
+            }
+        };
+
+        match result {
+            Ok(pred) if pred_is_finite(&pred) => {
+                let t1 = gpu.synchronize().max(engine.host_cursor);
+                gpu.trace_mut().span(
+                    "serve_forward",
+                    TraceKind::Span,
+                    Lane::Control,
+                    t0,
+                    t1,
+                    vec![
+                        ("batch", ArgValue::U64(batch.seq as u64)),
+                        ("frame", ArgValue::U64(frame as u64)),
+                        ("requests", ArgValue::U64(group.len() as u64)),
+                    ],
+                );
+                for r in group {
+                    outcomes.insert(
+                        r.id,
+                        RequestOutcome::Served {
+                            batch: batch.seq,
+                            batch_size,
+                            completed: t1,
+                            logits: slice_targets(&pred, &r.targets),
+                        },
+                    );
+                }
+            }
+            Ok(_poisoned) => {
+                // Non-finite logits: never serve them. Purge both reuse
+                // tiers (the deposit path may have cached poisoned
+                // aggregations) and reject the group.
+                engine.purge_frame_deposits(frame);
+                engine.evict_gpu_cache(gpu);
+                *rejected_poisoned += group.len();
+                let t = gpu.synchronize().max(engine.host_cursor);
+                gpu.trace_mut().instant(
+                    "recovery",
+                    Lane::Control,
+                    t,
+                    vec![
+                        ("policy", ArgValue::Str("serve_nan_reject".to_string())),
+                        ("batch", ArgValue::U64(batch.seq as u64)),
+                        ("frame", ArgValue::U64(frame as u64)),
+                    ],
+                );
+                for r in group {
+                    outcomes.insert(
+                        r.id,
+                        RequestOutcome::Rejected {
+                            reason: RejectReason::PoisonedOutput,
+                        },
+                    );
+                }
+            }
+            Err(fault) => {
+                *rejected_fault += group.len();
+                let t = gpu.now().max(engine.host_cursor);
+                gpu.trace_mut().instant(
+                    "recovery",
+                    Lane::Control,
+                    t,
+                    vec![
+                        ("policy", ArgValue::Str("serve_reject_batch".to_string())),
+                        ("batch", ArgValue::U64(batch.seq as u64)),
+                        ("frame", ArgValue::U64(frame as u64)),
+                        ("fault", ArgValue::Str(fault.to_string())),
+                    ],
+                );
+                let reason = RejectReason::DeviceFault {
+                    detail: fault.to_string(),
+                };
+                for r in group {
+                    outcomes.insert(
+                        r.id,
+                        RequestOutcome::Rejected {
+                            reason: reason.clone(),
+                        },
+                    );
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Whether every logit is finite.
+fn pred_is_finite(pred: &Matrix) -> bool {
+    (0..pred.rows()).all(|r| (0..pred.cols()).all(|c| pred[(r, c)].is_finite()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineConfig;
+    use pipad::{train_pipad, PipadConfig};
+    use pipad_ckpt::CheckpointPolicy;
+    use pipad_dyngraph::{DatasetId, Scale};
+    use pipad_gpu_sim::DeviceConfig;
+    use pipad_models::{ModelKind, TrainingConfig};
+
+    #[test]
+    fn serve_end_to_end_from_trained_checkpoint() {
+        let graph = DatasetId::Covid19England.gen_config(Scale::Tiny).generate();
+        let cfg = TrainingConfig {
+            window: 8,
+            epochs: 4,
+            preparing_epochs: 2,
+            lr: 0.01,
+            seed: 3,
+        };
+        let dir = std::env::temp_dir().join(format!("pipad-serve-smoke-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut tg = Gpu::new(DeviceConfig::v100());
+        let pcfg = PipadConfig {
+            checkpoint: Some(CheckpointPolicy::new(dir.clone(), 2)),
+            ..Default::default()
+        };
+        train_pipad(&mut tg, ModelKind::TGcn, &graph, 8, &cfg, &pcfg).unwrap();
+
+        let mut gpu = Gpu::new(DeviceConfig::v100());
+        let ecfg = EngineConfig {
+            hidden: 8,
+            ..Default::default()
+        };
+        let mut engine =
+            ServeEngine::from_latest(&mut gpu, &dir, ModelKind::TGcn, &graph, &cfg, &ecfg).unwrap();
+        let scfg = ServeSimConfig {
+            gen: RequestGenConfig {
+                n_requests: 12,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let report = serve_open_loop(&mut gpu, &mut engine, &scfg).unwrap();
+        assert_eq!(report.records.len(), 12);
+        assert_eq!(
+            report.served
+                + report.rejected_queue_full
+                + report.rejected_fault
+                + report.rejected_poisoned,
+            12
+        );
+        assert!(report.served > 0, "a clean run must serve requests");
+        assert!(report.latency.p50 <= report.latency.p95);
+        assert!(report.latency.p95 <= report.latency.p99);
+        assert!(report.throughput_rps > 0.0);
+        assert!(!report.served_logit_bytes().is_empty());
+
+        // Trace schema: every request produced an enqueue event, batches
+        // produced batch_form and serve_forward.
+        let names: Vec<&str> = gpu.trace().events().iter().map(|e| e.name).collect();
+        for needle in ["enqueue", "batch_form", "serve_forward"] {
+            assert!(names.contains(&needle), "missing {needle} in trace");
+        }
+
+        // A mismatched fingerprint is a typed error, not a panic.
+        let bad = TrainingConfig { seed: 99, ..cfg };
+        let mut g2 = Gpu::new(DeviceConfig::v100());
+        let err =
+            match ServeEngine::from_latest(&mut g2, &dir, ModelKind::TGcn, &graph, &bad, &ecfg) {
+                Err(e) => e,
+                Ok(_) => panic!("wrong seed must be rejected"),
+            };
+        assert!(matches!(err, ServeError::Ckpt(_)), "{err}");
+
+        // An empty directory is a typed error too.
+        let empty = dir.join("nope");
+        std::fs::create_dir_all(&empty).unwrap();
+        let mut g3 = Gpu::new(DeviceConfig::v100());
+        let err =
+            match ServeEngine::from_latest(&mut g3, &empty, ModelKind::TGcn, &graph, &cfg, &ecfg) {
+                Err(e) => e,
+                Ok(_) => panic!("empty dir has nothing to serve"),
+            };
+        assert!(matches!(err, ServeError::NoCheckpoint(_)), "{err}");
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

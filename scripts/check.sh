@@ -10,10 +10,12 @@
 # the buffer-pool kill-switch equivalence gate, the chaos gate
 # (`repro chaos` twice, diffing the fault-injection reports), the
 # resume gate (kill-and-resume bit-identity for every model, pool on and
-# off, threads 1 and 4, plus a `repro resume` report thread-diff), and
-# the multi-GPU gate (loss trajectories bit-identical across device
+# off, threads 1 and 4, plus a `repro resume` report thread-diff), the
+# multi-GPU gate (loss trajectories bit-identical across device
 # counts for every model at both thread counts, plus a `repro multigpu`
-# scaling-report thread-diff).
+# scaling-report thread-diff), and the serving gate (served logits
+# bit-identical to the train-time forward at both thread counts and with
+# the buffer pool disabled, plus a `repro serve` report thread-diff).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -88,5 +90,23 @@ PIPAD_THREADS=4 cargo run -q --release -p pipad-bench --bin repro -- \
 diff "$scratch_dir/m1/multigpu.json" "$scratch_dir/m4/multigpu.json"
 diff "$scratch_dir/m1/multigpu.txt" "$scratch_dir/m4/multigpu.txt"
 echo "multigpu report byte-identical across thread counts"
+
+echo "== serve equivalence (served logits ≡ training forward) @ PIPAD_THREADS=1 =="
+PIPAD_THREADS=1 cargo test -q --release --test serve_equivalence
+
+echo "== serve equivalence @ PIPAD_THREADS=4 =="
+PIPAD_THREADS=4 cargo test -q --release --test serve_equivalence
+
+echo "== serve equivalence with the buffer pool disabled =="
+PIPAD_NO_POOL=1 cargo test -q --release --test serve_equivalence
+
+echo "== serve determinism (repro serve @ PIPAD_THREADS=1 vs =4) =="
+PIPAD_THREADS=1 cargo run -q --release -p pipad-bench --bin repro -- \
+    serve --scale tiny --out "$scratch_dir/s1"
+PIPAD_THREADS=4 cargo run -q --release -p pipad-bench --bin repro -- \
+    serve --scale tiny --out "$scratch_dir/s4"
+diff "$scratch_dir/s1/serve.json" "$scratch_dir/s4/serve.json"
+diff "$scratch_dir/s1/serve.txt" "$scratch_dir/s4/serve.txt"
+echo "serve report byte-identical across thread counts"
 
 echo "== all checks passed =="

@@ -7,13 +7,25 @@
 //! Plans come from [`FaultPlan::seeded`], so each proptest case covers a
 //! different random mix of one-shot OOMs, usage thresholds, transient
 //! transfer faults, straggler windows and poisoned launches.
+//!
+//! The same contract extends to online serving: a checkpoint-restored
+//! [`ServeEngine`] replaying requests under a seeded plan never panics,
+//! every request either completes with finite logits or is rejected with
+//! a typed reason, device-fault rejections leave `recovery` events in the
+//! trace, and the whole run is thread-invariant.
 
 use pipad::{train_pipad, PipadConfig};
+use pipad_ckpt::CheckpointPolicy;
 use pipad_dyngraph::{DatasetId, Scale};
 use pipad_gpu_sim::{export_chrome_trace, DeviceConfig, FaultPlan, Gpu};
 use pipad_models::{ModelKind, TrainingConfig};
 use pipad_pool::with_threads;
+use pipad_repro::serve::{
+    serve_open_loop, BatchPolicy, EngineConfig, RequestGenConfig, ServeEngine, ServeSimConfig,
+};
 use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::OnceLock;
 
 /// One full training run under `plan`: the loss bit-patterns (or the typed
 /// error's message) plus the Chrome-trace export.
@@ -43,8 +55,131 @@ fn run_once(plan: &FaultPlan) -> (Result<Vec<u32>, String>, String) {
     (outcome, export_chrome_trace(gpu.trace(), 0))
 }
 
+fn serve_cfg() -> TrainingConfig {
+    TrainingConfig {
+        window: 8,
+        epochs: 4,
+        preparing_epochs: 2,
+        lr: 0.01,
+        seed: 7,
+    }
+}
+
+/// Train once per process (fault-free, with checkpoints) and share the
+/// checkpoint directory across every chaos case.
+fn shared_checkpoint_dir() -> &'static PathBuf {
+    static DIR: OnceLock<PathBuf> = OnceLock::new();
+    DIR.get_or_init(|| {
+        let dir = std::env::temp_dir().join(format!("pipad-serve-chaos-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let graph = DatasetId::Covid19England.gen_config(Scale::Tiny).generate();
+        let mut gpu = Gpu::new(DeviceConfig::v100());
+        let pcfg = PipadConfig {
+            checkpoint: Some(CheckpointPolicy::new(dir.clone(), 2)),
+            ..PipadConfig::default()
+        };
+        train_pipad(&mut gpu, ModelKind::TGcn, &graph, 8, &serve_cfg(), &pcfg)
+            .expect("fault-free training leg failed");
+        dir
+    })
+}
+
+/// Serving outcome under `plan`: per-request disposition counts plus the
+/// served logit bits, or the typed error's message; and the trace export.
+#[allow(clippy::type_complexity)]
+fn serve_once(
+    plan: &FaultPlan,
+) -> (
+    Result<(usize, usize, usize, usize, Vec<u8>), String>,
+    String,
+) {
+    let graph = DatasetId::Covid19England.gen_config(Scale::Tiny).generate();
+    let cfg = serve_cfg();
+    let mut gpu = Gpu::new(DeviceConfig::v100());
+    gpu.install_faults(plan.clone());
+    let ecfg = EngineConfig {
+        hidden: 8,
+        ..EngineConfig::default()
+    };
+    let scfg = ServeSimConfig {
+        batch: BatchPolicy {
+            max_batch: 4,
+            max_delay_ns: 250_000,
+            queue_capacity: 16,
+        },
+        gen: RequestGenConfig {
+            seed: 5,
+            n_requests: 12,
+            mean_interarrival_ns: 200_000,
+            max_targets: 4,
+            snapshot_period_ns: 500_000,
+        },
+    };
+    let res = (|| {
+        let mut engine = ServeEngine::from_latest(
+            &mut gpu,
+            shared_checkpoint_dir(),
+            ModelKind::TGcn,
+            &graph,
+            &cfg,
+            &ecfg,
+        )?;
+        serve_open_loop(&mut gpu, &mut engine, &scfg)
+    })();
+    let outcome = match res {
+        Ok(r) => Ok((
+            r.served,
+            r.rejected_fault,
+            r.rejected_poisoned,
+            r.rejected_queue_full,
+            r.served_logit_bytes(),
+        )),
+        Err(e) => Err(e.to_string()),
+    };
+    (outcome, export_chrome_trace(gpu.trace(), 0))
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn seeded_serving_never_panics_and_requests_are_accounted_for(seed in 0u64..u64::MAX) {
+        let plan = FaultPlan::seeded(seed);
+        // Returning at all — a report or a typed ServeError — IS the
+        // no-panic property.
+        let (r1, t1) = with_threads(1, || serve_once(&plan));
+        let (r4, t4) = with_threads(4, || serve_once(&plan));
+        prop_assert_eq!(&r1, &r4, "serving outcome differs across host thread counts (seed {})", seed);
+        prop_assert_eq!(&t1, &t4, "serving trace differs across host thread counts (seed {})", seed);
+
+        match r1 {
+            Ok((served, faulted, poisoned, queue_full, logit_bytes)) => {
+                // Every request completed or was rejected with a typed
+                // reason — none vanished.
+                prop_assert_eq!(served + faulted + poisoned + queue_full, 12,
+                    "requests lost under chaos (seed {})", seed);
+                // Served logits are never poisoned: non-finite outputs
+                // must have been rejected, not served.
+                for bits in logit_bytes.chunks_exact(4) {
+                    let v = f32::from_le_bytes([bits[0], bits[1], bits[2], bits[3]]);
+                    prop_assert!(v.is_finite(), "served a non-finite logit (seed {})", seed);
+                }
+                // Device-fault rejections go through the recovery ladder,
+                // which documents itself in the trace.
+                if faulted > 0 {
+                    prop_assert!(t1.contains("serve_reject_batch"),
+                        "fault rejections left no recovery event (seed {})", seed);
+                }
+                if faulted > 0 || poisoned > 0 {
+                    prop_assert!(t1.contains("recovery"),
+                        "rejections left no recovery event (seed {})", seed);
+                }
+            }
+            // Engine construction can also hit injected faults; that too
+            // must surface as a typed, rendered error.
+            Err(msg) => prop_assert!(!msg.is_empty(), "typed error must render a message"),
+        }
+    }
 
     #[test]
     fn seeded_plans_never_panic_and_runs_are_thread_invariant(seed in 0u64..u64::MAX) {

@@ -1,11 +1,13 @@
 //! Property-based suites over the core data structures and invariants,
 //! spanning crates: graph formats, overlap extraction, kernel/reference
-//! agreement, space-cost formulas and simulator monotonicity.
+//! agreement, space-cost formulas, simulator monotonicity and the serving
+//! micro-batcher's admission/formation policy.
 
 use pipad_repro::gpu_sim::{schedule_blocks, DeviceConfig, Gpu, SimNanos};
 use pipad_repro::kernels::{
     spmm_coo_scatter, spmm_gespmm, spmm_sliced_parallel, upload_csr, upload_matrix, upload_sliced,
 };
+use pipad_repro::serve::{form_batches, BatchPolicy, RejectReason, Request};
 use pipad_repro::sparse::{
     csr_row_work, extract_overlap, graph_diff, partition_rows_balanced, Csr, SlicedCsr,
 };
@@ -354,5 +356,125 @@ proptest! {
             moved * 4 <= n,
             "{moved}/{n} rows changed shards under ~10% churn"
         );
+    }
+}
+
+/// Strategy → a sorted open-loop arrival plan for the micro-batcher.
+fn arrival_plan() -> impl Strategy<Value = Vec<Request>> {
+    proptest::collection::vec(0u64..400_000, 1..60).prop_map(|gaps| {
+        let mut t = 0u64;
+        gaps.iter()
+            .enumerate()
+            .map(|(i, &gap)| {
+                t += gap;
+                Request {
+                    id: i as u64,
+                    arrival: SimNanos(t),
+                    frame: i % 3,
+                    targets: vec![i % 5],
+                }
+            })
+            .collect()
+    })
+}
+
+fn batch_policy() -> impl Strategy<Value = BatchPolicy> {
+    (1usize..6, 1_000u64..400_000, 1usize..10).prop_map(|(max_batch, max_delay_ns, cap)| {
+        BatchPolicy {
+            max_batch,
+            max_delay_ns,
+            queue_capacity: cap,
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn batcher_neither_loses_nor_duplicates_requests(
+        reqs in arrival_plan(),
+        policy in batch_policy(),
+    ) {
+        // Every request ends up exactly once: in some batch or in the
+        // rejection list — independent of policy knobs.
+        let n = reqs.len();
+        let (batches, rejected, stats) = form_batches(&reqs, &policy);
+        let mut ids: Vec<u64> = batches
+            .iter()
+            .flat_map(|b| b.requests.iter().map(|r| r.id))
+            .chain(rejected.iter().map(|(r, _)| r.id))
+            .collect();
+        ids.sort_unstable();
+        prop_assert_eq!(ids, (0..n as u64).collect::<Vec<_>>());
+        prop_assert_eq!(stats.admitted + stats.rejected_queue_full, n);
+        prop_assert_eq!(stats.rejected_queue_full, rejected.len());
+        for (_, reason) in &rejected {
+            prop_assert_eq!(
+                reason,
+                &RejectReason::QueueFull { capacity: policy.queue_capacity }
+            );
+        }
+    }
+
+    #[test]
+    fn batcher_is_fifo(reqs in arrival_plan(), policy in batch_policy()) {
+        // Within a batch, and across the batch sequence, admitted
+        // requests keep their arrival order.
+        let (batches, _, _) = form_batches(&reqs, &policy);
+        let flat: Vec<u64> = batches
+            .iter()
+            .flat_map(|b| b.requests.iter().map(|r| r.id))
+            .collect();
+        let mut sorted = flat.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(flat, sorted, "batch formation reordered requests");
+        for w in batches.windows(2) {
+            prop_assert!(w[0].seq < w[1].seq);
+            prop_assert!(w[0].formed_at <= w[1].formed_at);
+        }
+    }
+
+    #[test]
+    fn batcher_honors_max_delay_and_max_batch(
+        reqs in arrival_plan(),
+        policy in batch_policy(),
+    ) {
+        // No admitted request waits in the open batch past `max_delay_ns`,
+        // no batch exceeds `max_batch`, none is empty, and a batch is
+        // never formed before its last member arrives.
+        let (batches, _, stats) = form_batches(&reqs, &policy);
+        for b in &batches {
+            prop_assert!(!b.requests.is_empty());
+            prop_assert!(b.requests.len() <= policy.max_batch);
+            let first = b.requests.first().unwrap().arrival;
+            let last = b.requests.last().unwrap().arrival;
+            prop_assert!(b.formed_at >= last);
+            prop_assert!(
+                b.formed_at.as_nanos() - first.as_nanos() <= policy.max_delay_ns,
+                "batch {} held its head {} ns > max delay {} ns",
+                b.seq,
+                b.formed_at.as_nanos() - first.as_nanos(),
+                policy.max_delay_ns
+            );
+            let hist = stats.size_histogram.get(&b.requests.len());
+            prop_assert!(hist.is_some());
+        }
+    }
+
+    #[test]
+    fn batcher_queue_never_exceeds_capacity(
+        reqs in arrival_plan(),
+        policy in batch_policy(),
+    ) {
+        let (batches, rejected, stats) = form_batches(&reqs, &policy);
+        prop_assert!(stats.queue_high_water <= policy.queue_capacity);
+        // With capacity ≥ max_batch nothing can ever be rejected: the
+        // size trigger drains the queue before it fills.
+        if policy.queue_capacity >= policy.max_batch {
+            prop_assert!(rejected.is_empty());
+        }
+        let hist_total: usize = stats.size_histogram.values().sum();
+        prop_assert_eq!(hist_total, batches.len());
     }
 }
