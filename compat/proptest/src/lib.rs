@@ -148,7 +148,9 @@ macro_rules! int_strategy {
             fn generate(&self, rng: &mut TestRng) -> $t {
                 let (lo, hi) = (*self.start(), *self.end());
                 assert!(lo <= hi, "empty range strategy");
-                let span = (hi - lo) as u64 + 1;
+                // wrapping: a full-domain range (lo = MIN, hi = MAX) spans
+                // 2^64, which the `span == 0` branch below handles.
+                let span = ((hi - lo) as u64).wrapping_add(1);
                 if span == 0 {
                     return lo + rng.next_u64() as $t;
                 }

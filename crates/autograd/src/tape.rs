@@ -237,7 +237,7 @@ impl Tape {
     }
 
     /// Register a device-resident value that **carries** gradient without
-    /// being a parameter. The reverse sweep stops here ([`Op::Input`] has no
+    /// being a parameter. The reverse sweep stops here (`Op::Input` has no
     /// inputs of its own) but the accumulated gradient stays readable via
     /// [`Tape::grad`] — the sharded trainer registers peer shards' halo
     /// activations this way and routes the deposited gradient back to the

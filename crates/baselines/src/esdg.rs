@@ -14,7 +14,7 @@
 
 use pipad_autograd::{AggregationKernel, Tape, Var};
 use pipad_dyngraph::{DynamicGraph, FrameIter};
-use pipad_gpu_sim::{Event, Gpu, OomError, SimNanos, StreamId};
+use pipad_gpu_sim::{ArgValue, Event, Gpu, Lane, OomError, SimNanos, StreamId, TraceKind};
 use pipad_kernels::{DeviceCsr, DeviceMatrix};
 use pipad_models::{
     build_model, normalize_snapshot, EpochReport, GnnExecutor, HostAllocStats, ModelKind,
@@ -222,9 +222,27 @@ pub fn train_esdg(
         // topology again, then deltas).
         window.clear(gpu);
         let t1 = gpu.synchronize().max(host_cursor);
+        let mean_loss = losses.iter().sum::<f32>() / losses.len().max(1) as f32;
+        let epoch_peak = gpu.mem().peak();
+        // Same epoch-span schema as the PiPAD trainer, so the pipeline
+        // analyzer (pipad-metrics) can window ESDG runs identically.
+        gpu.trace_mut().span(
+            "epoch",
+            TraceKind::Span,
+            Lane::Control,
+            t0,
+            t1,
+            vec![
+                ("epoch", ArgValue::U64(epoch as u64)),
+                ("preparing", ArgValue::Bool(epoch < preparing)),
+                ("mean_loss", ArgValue::F64(mean_loss as f64)),
+                ("sim_time_ns", ArgValue::U64((t1 - t0).as_nanos())),
+                ("peak_mem", ArgValue::U64(epoch_peak)),
+            ],
+        );
         epochs.push(EpochReport {
             epoch,
-            mean_loss: losses.iter().sum::<f32>() / losses.len().max(1) as f32,
+            mean_loss,
             sim_time: t1 - t0,
             alloc: HostAllocStats::capture().since(&alloc0),
         });

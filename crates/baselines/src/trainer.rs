@@ -9,7 +9,7 @@ use crate::reuse::ReuseCache;
 use pipad_autograd::{AggregationKernel, Tape};
 use pipad_ckpt::{latest_checkpoint, write_checkpoint, Checkpoint, CheckpointPolicy};
 use pipad_dyngraph::{DynamicGraph, FrameIter};
-use pipad_gpu_sim::{ArgValue, DeviceFault, Gpu, Lane, OomError, SimNanos};
+use pipad_gpu_sim::{ArgValue, DeviceFault, Gpu, Lane, OomError, SimNanos, TraceKind};
 use pipad_models::{
     build_model, EpochReport, HostAllocStats, ModelKind, TrainReport, TrainingConfig,
 };
@@ -194,9 +194,30 @@ pub fn train_baseline_resumable(
             }
         }
         let t1 = gpu.synchronize().max(host_cursor);
+        let mean_loss = losses.iter().sum::<f32>() / losses.len().max(1) as f32;
+        let epoch_peak = gpu.mem().peak();
+        // Same epoch-span schema as the PiPAD trainer, so the pipeline
+        // analyzer (pipad-metrics) can window baseline runs identically.
+        gpu.trace_mut().span(
+            "epoch",
+            TraceKind::Span,
+            Lane::Control,
+            t0,
+            t1,
+            vec![
+                ("epoch", ArgValue::U64(epoch as u64)),
+                (
+                    "preparing",
+                    ArgValue::Bool(epoch < cfg.preparing_epochs.min(cfg.epochs - 1)),
+                ),
+                ("mean_loss", ArgValue::F64(mean_loss as f64)),
+                ("sim_time_ns", ArgValue::U64((t1 - t0).as_nanos())),
+                ("peak_mem", ArgValue::U64(epoch_peak)),
+            ],
+        );
         epochs.push(EpochReport {
             epoch,
-            mean_loss: losses.iter().sum::<f32>() / losses.len().max(1) as f32,
+            mean_loss,
             sim_time: t1 - t0,
             alloc: HostAllocStats::capture().since(&alloc0),
         });

@@ -5,7 +5,7 @@
 //! respond. Also ablates PiPAD's mechanisms one at a time on a mid-size
 //! dataset (the DESIGN.md per-mechanism attribution).
 
-use crate::util::{dataset, default_training_config, header, pad, RunScale};
+use crate::util::{check_consistency, dataset, default_training_config, header, pad, RunScale};
 use pipad::{train_pipad, PipadConfig};
 use pipad_dyngraph::DatasetId;
 use pipad_gpu_sim::{DeviceConfig, Gpu};
@@ -40,6 +40,7 @@ fn run_with_device(
         .max()
         .unwrap_or(0);
     let _ = max_sper;
+    check_consistency(&gpu);
     (Some(r), 0)
 }
 

@@ -22,15 +22,21 @@
 //!   alloc    host allocation profile (heap + buffer-pool counters per epoch)
 //!   multigpu data-parallel scaling curve (halo traffic, allreduce, SM utilization)
 //!   serve    online inference serving (latency percentiles, throughput, batching)
+//!   profile  unified metrics registry + pipeline-health analysis + regression sentinel
 //!   all      everything (one grid pass shared by fig10/table2)
 //! ```
+//!
+//! `profile` additionally accepts `--baseline <file.json>`: the run's key
+//! metrics are compared against the committed sentinel baseline and the
+//! process exits nonzero on drift beyond the per-metric tolerances
+//! (`UPDATE_BASELINE=1` rewrites the file instead).
 //!
 //! Results print to stdout and are written to `<out>/<name>.txt`
 //! (default `results/`).
 
 use pipad_bench::{
     ablation, alloc, breakdown, chaos, fig11, fig12, fig5, fig9, grid, host_parallel, multigpu,
-    resume, serve, table1, trace, RunScale,
+    profile, resume, serve, table1, trace, RunScale,
 };
 use pipad_tensor::CountingAllocator;
 
@@ -47,12 +53,14 @@ struct Args {
     experiment: String,
     scale: RunScale,
     out_dir: PathBuf,
+    baseline: Option<PathBuf>,
 }
 
 fn parse_args() -> Args {
     let mut experiment = "all".to_string();
     let mut scale = RunScale::Laptop;
     let mut out_dir = PathBuf::from("results");
+    let mut baseline = None;
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < argv.len() {
@@ -69,8 +77,12 @@ fn parse_args() -> Args {
                 i += 1;
                 out_dir = PathBuf::from(argv.get(i).cloned().unwrap_or_default());
             }
+            "--baseline" => {
+                i += 1;
+                baseline = Some(PathBuf::from(argv.get(i).cloned().unwrap_or_default()));
+            }
             "--help" | "-h" => {
-                println!("usage: repro <table1|fig3|fig4|fig5|fig9|fig10|table2|grid|fig11|fig12|trace|chaos|resume|alloc|multigpu|serve|all> [--scale tiny|laptop] [--out dir]");
+                println!("usage: repro <table1|fig3|fig4|fig5|fig9|fig10|table2|grid|fig11|fig12|trace|chaos|resume|alloc|multigpu|serve|profile|all> [--scale tiny|laptop] [--out dir] [--baseline file.json]");
                 std::process::exit(0);
             }
             other => experiment = other.to_string(),
@@ -81,6 +93,7 @@ fn parse_args() -> Args {
         experiment,
         scale,
         out_dir,
+        baseline,
     }
 }
 
@@ -190,6 +203,46 @@ fn main() {
             let path = args.out_dir.join("multigpu.json");
             fs::write(&path, &art.json).expect("write multigpu.json");
             eprintln!("[repro] wrote {}", path.display());
+        }
+        "profile" => {
+            let art = profile::run(args.scale);
+            emit(&args.out_dir, "profile", &art.table);
+            for (name, body) in [("profile.json", &art.json), ("profile.prom", &art.prom)] {
+                let path = args.out_dir.join(name);
+                fs::write(&path, body).expect("write profile export");
+                eprintln!("[repro] wrote {}", path.display());
+            }
+            if let Some(bp) = &args.baseline {
+                if std::env::var_os("UPDATE_BASELINE").is_some() {
+                    fs::write(bp, art.render_baseline()).expect("write sentinel baseline");
+                    eprintln!("[repro] wrote sentinel baseline {}", bp.display());
+                } else {
+                    let src = fs::read_to_string(bp).unwrap_or_else(|e| {
+                        eprintln!("[repro] cannot read baseline {}: {e}", bp.display());
+                        std::process::exit(2);
+                    });
+                    match art.check_baseline(&src) {
+                        Err(e) => {
+                            eprintln!("[repro] baseline parse error: {e}");
+                            std::process::exit(2);
+                        }
+                        Ok(failures) if !failures.is_empty() => {
+                            for f in &failures {
+                                eprintln!("[repro] {f}");
+                            }
+                            eprintln!(
+                                "[repro] sentinel FAILED: {} metric(s) drifted beyond tolerance \
+                                 (if intentional, rerun with UPDATE_BASELINE=1 and review the diff)",
+                                failures.len()
+                            );
+                            std::process::exit(1);
+                        }
+                        Ok(_) => eprintln!(
+                            "[repro] sentinel passed: all guarded metrics within tolerance"
+                        ),
+                    }
+                }
+            }
         }
         "serve" => {
             let art = serve::run(args.scale);

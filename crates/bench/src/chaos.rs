@@ -21,7 +21,7 @@
 //! pure function of the workload — `run` re-measures under repeated runs
 //! and 1-/4-thread host pools and asserts byte-identical JSON.
 
-use crate::util::{dataset, default_training_config, RunScale};
+use crate::util::{check_consistency, dataset, default_training_config, RunScale};
 use pipad::{train_pipad, PipadConfig};
 use pipad_dyngraph::DatasetId;
 use pipad_gpu_sim::{
@@ -99,6 +99,7 @@ fn observe(
         }
     }
     let c = gpu.op_counters();
+    check_consistency(&gpu);
     RunObs {
         ok,
         error,

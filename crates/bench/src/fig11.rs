@@ -7,7 +7,7 @@
 //! * thread utilization — warp execution efficiency of the GNN kernels,
 //!   PyGT-G vs PiPAD, with all dimensions forced to 2/6.
 
-use crate::util::{dataset, header, pad, RunScale};
+use crate::util::{check_consistency, dataset, header, pad, RunScale};
 use pipad_dyngraph::{DatasetId, DynamicGraph, ALL_DATASETS};
 use pipad_gpu_sim::{Breakdown, DeviceConfig, Gpu, SimNanos};
 use pipad_kernels::{
@@ -104,6 +104,7 @@ pub fn profile_gnn(
     let _ = t0;
     gpu.synchronize();
     let b = gpu.profiler().window(snap);
+    check_consistency(&gpu);
     (b.compute_total, b)
 }
 

@@ -3,7 +3,7 @@
 //! overall training speedup of the sliced format over plain CSR with every
 //! other PiPAD mechanism unchanged.
 
-use crate::util::{dataset, default_training_config, header, pad, RunScale};
+use crate::util::{check_consistency, dataset, default_training_config, header, pad, RunScale};
 use pipad::{train_pipad, PipadConfig};
 use pipad_dyngraph::{DatasetId, ALL_DATASETS};
 use pipad_gpu_sim::{DeviceConfig, Gpu, SimNanos};
@@ -42,6 +42,7 @@ pub fn measure_balance(id: DatasetId, scale: RunScale) -> (BalancePoint, Balance
         let p = gpu.profiler().snapshot();
         spmm_gespmm(&mut gpu, s, &adj, &x).unwrap();
         let w = gpu.profiler().window(p);
+        check_consistency(&gpu);
         BalancePoint {
             actual: w.compute_total,
             balanced: w.compute_balanced,
@@ -56,6 +57,7 @@ pub fn measure_balance(id: DatasetId, scale: RunScale) -> (BalancePoint, Balance
         let p = gpu.profiler().snapshot();
         spmm_sliced_parallel(&mut gpu, s, &adj, &x, 1).unwrap();
         let w = gpu.profiler().window(p);
+        check_consistency(&gpu);
         BalancePoint {
             actual: w.compute_total,
             balanced: w.compute_balanced,
@@ -70,7 +72,7 @@ pub fn overall_speedup(id: DatasetId, model: ModelKind, scale: RunScale) -> f64 
     let cfg = default_training_config(scale);
     let run = |use_sliced: bool| {
         let mut gpu = Gpu::new(DeviceConfig::v100());
-        train_pipad(
+        let report = train_pipad(
             &mut gpu,
             model,
             &g,
@@ -81,7 +83,9 @@ pub fn overall_speedup(id: DatasetId, model: ModelKind, scale: RunScale) -> f64 
                 ..Default::default()
             },
         )
-        .expect("fig12 run failed")
+        .expect("fig12 run failed");
+        check_consistency(&gpu);
+        report
     };
     let csr = run(false);
     let sliced = run(true);

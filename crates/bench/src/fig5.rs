@@ -2,7 +2,7 @@
 //! standard row-per-warp aggregation as the feature dimension sweeps —
 //! the §3.2 bandwidth-unsaturation / request-burst experiment.
 
-use crate::util::{header, pad};
+use crate::util::{check_consistency, header, pad};
 use pipad_gpu_sim::{DeviceConfig, Gpu};
 use pipad_kernels::{spmm_gespmm, upload_csr, upload_matrix};
 use pipad_sparse::Csr;
@@ -50,6 +50,7 @@ pub fn measure() -> Vec<Fig5Point> {
             let snap = gpu.profiler().snapshot();
             spmm_gespmm(&mut gpu, s, &adj, &x).unwrap();
             let w = gpu.profiler().window(snap);
+            check_consistency(&gpu);
             Fig5Point {
                 dim,
                 requests: w.gmem_requests,

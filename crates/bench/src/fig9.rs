@@ -8,7 +8,7 @@
 //! member (the paper "randomly selects snapshot groups that satisfy the
 //! target overlap requirements").
 
-use crate::util::{header, pad};
+use crate::util::{check_consistency, header, pad};
 use pipad_gpu_sim::KernelCategory;
 use pipad_gpu_sim::{DeviceConfig, Gpu, SimNanos};
 use pipad_kernels::{gemm_device, spmm_sliced_parallel, upload_matrix, upload_sliced};
@@ -76,7 +76,9 @@ fn time_single(group: &[Csr], feats: &[Matrix], w: &Matrix) -> SimNanos {
         let agg = spmm_sliced_parallel(&mut gpu, s, dadj, dx, 1).unwrap();
         gemm_device(&mut gpu, s, &agg, &dw, KernelCategory::Update).unwrap();
     }
-    gpu.synchronize() - t0
+    let dt = gpu.synchronize() - t0;
+    check_consistency(&gpu);
+    dt
 }
 
 /// Simulated time of the parallel GNN: one overlap aggregation over the
@@ -129,7 +131,9 @@ fn time_parallel(group: &[Csr], feats: &[Matrix], w: &Matrix) -> SimNanos {
     )
     .unwrap();
     let _ = over_out;
-    gpu.synchronize() - t0
+    let dt = gpu.synchronize() - t0;
+    check_consistency(&gpu);
+    dt
 }
 
 /// One measured point of the sweep.

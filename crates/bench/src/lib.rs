@@ -20,6 +20,7 @@
 //! | [`alloc`] | extension: host allocation profile — heap/pool counters per preparing vs steady epoch |
 //! | [`multigpu`] | extension: data-parallel scaling — halo traffic, allreduce cost, per-device utilization (§4.5) |
 //! | [`serve`] | extension: online inference serving — latency percentiles, throughput, batching (§3.16) |
+//! | [`profile`] | extension: unified metrics registry + pipeline-health analysis + regression sentinel (§3.17) |
 //!
 //! Run everything with the `repro` binary:
 //!
@@ -38,6 +39,7 @@ pub mod fig9;
 pub mod grid;
 pub mod host_parallel;
 pub mod multigpu;
+pub mod profile;
 pub mod resume;
 pub mod serve;
 pub mod table1;

@@ -1,0 +1,381 @@
+//! `repro profile` — unified metrics registry + pipeline-health analysis
+//! with a perf-regression sentinel.
+//!
+//! Three legs populate one [`MetricsRegistry`]:
+//!
+//! 1. **train** — T-GCN on COVID-19-England under PiPAD and the strongest
+//!    baseline (PyGT-A); the post-hoc analyzer turns each device's trace +
+//!    profiler into overlap fractions, bubble/stall attribution, per-kernel
+//!    duration histograms, device-allocation counts and reuse-tier hit
+//!    rates, labeled by `method`.
+//! 2. **multigpu** — 2-device data-parallel run; halo and ring-allreduce
+//!    traffic, the allreduce time fraction and per-device SM utilization.
+//! 3. **serve** — checkpoint-restore into the serving engine and an
+//!    open-loop replay; per-request latencies land in a log2 histogram.
+//!
+//! The registry renders three ways (Prometheus text, JSON, human table) —
+//! all three are pure functions of the simulated clock, and `run` asserts
+//! byte-identity across host-pool thread counts and with the buffer pool
+//! disabled. A small set of key metrics is additionally guarded by a
+//! committed sentinel baseline (`tests/golden/profile_baseline.json`):
+//! `repro profile --baseline <path>` fails when any guarded metric drifts
+//! beyond its per-metric tolerance.
+
+use crate::util::{check_consistency, dataset, default_training_config, Method, RunScale};
+use pipad::{train_data_parallel, train_pipad, MultiGpuConfig, PipadConfig};
+use pipad_ckpt::CheckpointPolicy;
+use pipad_dyngraph::DatasetId;
+use pipad_gpu_sim::{validate_json, DeviceConfig, Gpu};
+use pipad_metrics::{
+    analyze, to_json, to_prometheus, to_table, Baseline, BaselineEntry, MetricsRegistry,
+};
+use pipad_models::ModelKind;
+use pipad_pool::with_threads;
+use pipad_serve::{
+    serve_open_loop, BatchPolicy, EngineConfig, RequestGenConfig, ServeEngine, ServeSimConfig,
+};
+use pipad_tensor::with_pool_enabled;
+use std::collections::BTreeMap;
+
+/// Hidden dimension for every leg.
+const HIDDEN: usize = 16;
+/// Checkpoint cadence for the serving leg's training run.
+const EVERY_EPOCHS: usize = 2;
+
+/// The guarded metrics: flat key (as produced by
+/// [`MetricsRegistry::flat`]), absolute tolerance, relative tolerance.
+/// A current value passes iff `|cur − base| ≤ tol_abs + tol_rel·|base|`.
+const SENTINEL: [(&str, f64, f64); 6] = [
+    // Pipelining quality: compute↔transfer overlap in the steady window
+    // (milli-fraction of transfer time hidden under kernels).
+    (
+        "pipad_overlap_fraction_milli{method=\"PiPAD\",window=\"steady\"}",
+        50.0,
+        0.0,
+    ),
+    // Kernel-time SM utilization of the steady window.
+    (
+        "pipad_sm_utilization_milli{method=\"PiPAD\",window=\"steady\"}",
+        50.0,
+        0.0,
+    ),
+    // Steady-state device allocations (device_mem_in_use rises) — the
+    // zero-alloc steady-state claim, counted identically with the host
+    // buffer pool on or off.
+    (
+        "pipad_device_allocs{method=\"PiPAD\",window=\"steady\"}",
+        2.0,
+        0.10,
+    ),
+    // End-to-end steady epoch time.
+    ("pipad_steady_epoch_ns{method=\"PiPAD\"}", 0.0, 0.10),
+    // Serving tail latency (log2-bucket p95, simulated ns).
+    ("pipad_serve_latency_ns_p95", 0.0, 0.10),
+    // Multi-GPU communication share: allreduce time per steady epoch.
+    ("pipad_mgpu_allreduce_fraction_milli{gpus=\"2\"}", 50.0, 0.0),
+];
+
+/// Everything `repro profile` produces.
+pub struct ProfileArtifact {
+    /// Metrics-registry JSON export (`results/profile.json`).
+    pub json: String,
+    /// Human-readable table (`results/profile.txt`).
+    pub table: String,
+    /// Prometheus text exposition (`results/profile.prom`).
+    pub prom: String,
+    /// Flat `key → value` map the sentinel compares against.
+    pub flat: BTreeMap<String, f64>,
+}
+
+impl ProfileArtifact {
+    /// Render the sentinel baseline for this run: every guarded metric at
+    /// its current value with the standard tolerances. Written by
+    /// `UPDATE_BASELINE=1 repro profile --baseline <path>`.
+    pub fn render_baseline(&self) -> String {
+        let entries = SENTINEL
+            .iter()
+            .map(|&(key, tol_abs, tol_rel)| BaselineEntry {
+                key: key.to_string(),
+                value: *self
+                    .flat
+                    .get(key)
+                    .unwrap_or_else(|| panic!("sentinel metric `{key}` missing from profile")),
+                tol_abs,
+                tol_rel,
+            })
+            .collect();
+        Baseline { entries }.render()
+    }
+
+    /// Compare this run against a committed baseline document. `Err` is a
+    /// parse failure; `Ok(v)` lists tolerance violations (empty = pass).
+    pub fn check_baseline(&self, src: &str) -> Result<Vec<String>, String> {
+        Ok(Baseline::parse(src)?.check(&self.flat))
+    }
+}
+
+fn serve_sim_config(scale: RunScale) -> ServeSimConfig {
+    let n_requests = match scale {
+        RunScale::Tiny => 24,
+        RunScale::Laptop => 96,
+    };
+    ServeSimConfig {
+        batch: BatchPolicy {
+            max_batch: 4,
+            max_delay_ns: 250_000,
+            queue_capacity: 8,
+        },
+        gen: RequestGenConfig {
+            seed: 11,
+            n_requests,
+            mean_interarrival_ns: 150_000,
+            max_targets: 8,
+            snapshot_period_ns: 400_000,
+        },
+    }
+}
+
+/// Leg 1: train under `method`, analyze the pipeline, register everything
+/// under a `method` label.
+fn train_leg(reg: &mut MetricsRegistry, method: Method, scale: RunScale) {
+    let graph = dataset(DatasetId::Covid19England, scale);
+    let cfg = default_training_config(scale);
+    let mut gpu = Gpu::new(DeviceConfig::v100());
+    let report = method.run_on(&mut gpu, ModelKind::TGcn, &graph, HIDDEN, &cfg);
+
+    let health = analyze(gpu.trace(), gpu.profiler());
+    health.register_into(reg, &[("method", method.name())]);
+    reg.set_gauge_with(
+        "pipad_steady_epoch_ns",
+        &[("method", method.name())],
+        report.steady_epoch_time.as_nanos() as f64,
+    );
+
+    // Reuse-tier hit rates from the trainer's run-level metadata (PiPAD
+    // only; the baselines have no reuse tiers and publish no meta).
+    let meta: BTreeMap<&str, u64> = gpu.trace().meta().collect();
+    for tier in ["cpu", "gpu"] {
+        let hits = meta
+            .get(format!("reuse_{tier}_hits").as_str())
+            .copied()
+            .unwrap_or(0);
+        let misses = meta
+            .get(format!("reuse_{tier}_misses").as_str())
+            .copied()
+            .unwrap_or(0);
+        if hits + misses == 0 {
+            continue;
+        }
+        let labels = [("method", method.name()), ("tier", tier)];
+        reg.inc_counter_with("pipad_reuse_hits", &labels, hits);
+        reg.inc_counter_with("pipad_reuse_misses", &labels, misses);
+        reg.set_gauge_with(
+            "pipad_reuse_hit_rate_milli",
+            &labels,
+            (hits * 1000 / (hits + misses)) as f64,
+        );
+    }
+}
+
+/// Leg 2: 2-device data parallelism — communication volumes and shares.
+fn multigpu_leg(reg: &mut MetricsRegistry, scale: RunScale) {
+    let graph = dataset(DatasetId::Covid19England, scale);
+    let cfg = default_training_config(scale);
+    let r = train_data_parallel(
+        ModelKind::TGcn,
+        &graph,
+        HIDDEN,
+        &cfg,
+        &MultiGpuConfig {
+            n_gpus: 2,
+            ..Default::default()
+        },
+    )
+    .expect("profile multigpu leg failed");
+
+    let labels = [("gpus", "2")];
+    reg.inc_counter_with(
+        "pipad_mgpu_halo_bytes_per_epoch",
+        &labels,
+        r.halo_bytes_per_epoch,
+    );
+    reg.inc_counter_with(
+        "pipad_mgpu_allreduce_bytes_per_epoch",
+        &labels,
+        r.allreduce_bytes_per_epoch,
+    );
+    reg.inc_counter_with(
+        "pipad_mgpu_allreduce_ns_per_epoch",
+        &labels,
+        r.allreduce_time_per_epoch.as_nanos(),
+    );
+    reg.set_gauge_with(
+        "pipad_mgpu_steady_epoch_ns",
+        &labels,
+        r.steady_epoch_time.as_nanos() as f64,
+    );
+    reg.set_gauge_with(
+        "pipad_mgpu_allreduce_fraction_milli",
+        &labels,
+        (r.allreduce_time_per_epoch.as_nanos() * 1000 / r.steady_epoch_time.as_nanos().max(1))
+            as f64,
+    );
+    for (i, util) in r.per_device_sm_util.iter().enumerate() {
+        let device = i.to_string();
+        reg.set_gauge_with(
+            "pipad_mgpu_sm_utilization_milli",
+            &[("gpus", "2"), ("device", device.as_str())],
+            (util * 1000.0).round(),
+        );
+    }
+}
+
+/// Leg 3: checkpoint → serving engine → open-loop replay; latency
+/// histogram and admission counters.
+fn serve_leg(reg: &mut MetricsRegistry, scale: RunScale) {
+    let graph = dataset(DatasetId::Covid19England, scale);
+    let cfg = default_training_config(scale);
+    let dir = std::env::temp_dir().join(format!("pipad-profile-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let mut tg = Gpu::new(DeviceConfig::v100());
+    let pcfg = PipadConfig {
+        checkpoint: Some(CheckpointPolicy::new(dir.clone(), EVERY_EPOCHS)),
+        ..PipadConfig::default()
+    };
+    train_pipad(&mut tg, ModelKind::TGcn, &graph, HIDDEN, &cfg, &pcfg)
+        .expect("profile serve-training leg failed");
+    check_consistency(&tg);
+
+    let mut gpu = Gpu::new(DeviceConfig::v100());
+    let ecfg = EngineConfig {
+        hidden: HIDDEN,
+        ..EngineConfig::default()
+    };
+    let mut engine = ServeEngine::from_latest(&mut gpu, &dir, ModelKind::TGcn, &graph, &cfg, &ecfg)
+        .expect("profile serve leg failed to restore the checkpoint");
+    let report = serve_open_loop(&mut gpu, &mut engine, &serve_sim_config(scale))
+        .expect("profile serving run failed");
+    check_consistency(&gpu);
+    std::fs::remove_dir_all(&dir).expect("cleanup checkpoints");
+
+    for rec in &report.records {
+        if let Some(lat) = rec.latency() {
+            reg.observe("pipad_serve_latency_ns", lat.as_nanos());
+        }
+    }
+    reg.inc_counter("pipad_serve_served_total", report.served as u64);
+    reg.inc_counter(
+        "pipad_serve_rejected_total",
+        (report.rejected_queue_full + report.rejected_fault + report.rejected_poisoned) as u64,
+    );
+    reg.inc_counter("pipad_serve_batches_total", report.batches as u64);
+    reg.set_gauge(
+        "pipad_serve_queue_high_water",
+        report.queue_high_water as f64,
+    );
+}
+
+/// Run all three legs once and render the three exports.
+pub fn measure(scale: RunScale) -> ProfileArtifact {
+    let mut reg = MetricsRegistry::new();
+    for method in [Method::Pipad, Method::PygtA] {
+        train_leg(&mut reg, method, scale);
+    }
+    multigpu_leg(&mut reg, scale);
+    serve_leg(&mut reg, scale);
+
+    let json = to_json(&reg);
+    validate_json(&json).expect("profile JSON export is not well-formed");
+    let mut table = format!(
+        "profile: T-GCN / COVID-19-England ({}), PiPAD vs PyGT-A + 2-GPU + serving\n",
+        scale.label()
+    );
+    table.push_str(&to_table(&reg));
+    ProfileArtifact {
+        json,
+        table,
+        prom: to_prometheus(&reg),
+        flat: reg.flat(),
+    }
+}
+
+/// Run the profile experiment and verify the determinism contract: all
+/// three exports must be byte-identical across host-pool thread counts
+/// and with the host buffer pool disabled.
+pub fn run(scale: RunScale) -> ProfileArtifact {
+    let first = measure(scale);
+    let serial = with_threads(1, || measure(scale));
+    let pooled = with_threads(4, || measure(scale));
+    let unpooled = with_pool_enabled(false, || measure(scale));
+    for (name, other) in [
+        ("1-thread", &serial),
+        ("4-thread", &pooled),
+        ("no-pool", &unpooled),
+    ] {
+        assert_eq!(
+            first.json, other.json,
+            "profile JSON differs under the {name} configuration"
+        );
+        assert_eq!(
+            first.prom, other.prom,
+            "profile Prometheus export differs under the {name} configuration"
+        );
+        assert_eq!(
+            first.table, other.table,
+            "profile table differs under the {name} configuration"
+        );
+    }
+    first
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sentinel_keys_exist_and_baseline_round_trips() {
+        let art = measure(RunScale::Tiny);
+        for (key, _, _) in SENTINEL {
+            assert!(art.flat.contains_key(key), "missing sentinel metric {key}");
+        }
+        let baseline = art.render_baseline();
+        assert_eq!(
+            art.check_baseline(&baseline).expect("parse"),
+            Vec::<String>::new(),
+            "a freshly rendered baseline must accept its own run"
+        );
+    }
+
+    #[test]
+    fn perturbed_baseline_is_rejected() {
+        let art = measure(RunScale::Tiny);
+        let baseline = art.render_baseline();
+        let parsed = Baseline::parse(&baseline).expect("parse");
+        let mut bad = parsed.clone();
+        // Shift one guarded value far outside its tolerance band.
+        bad.entries[0].value += 10_000.0;
+        bad.entries[0].tol_abs = 1.0;
+        bad.entries[0].tol_rel = 0.0;
+        let failures = art.check_baseline(&bad.render()).expect("parse");
+        assert_eq!(failures.len(), 1, "exactly the perturbed metric fails");
+        assert!(failures[0].contains("drifted"), "{}", failures[0]);
+    }
+
+    #[test]
+    fn overlap_beats_baseline_and_allocs_are_flat() {
+        let art = measure(RunScale::Tiny);
+        let pipad = art.flat["pipad_overlap_fraction_milli{method=\"PiPAD\",window=\"steady\"}"];
+        let pygta = art.flat["pipad_overlap_fraction_milli{method=\"PyGT-A\",window=\"steady\"}"];
+        assert!(
+            pipad > pygta,
+            "PiPAD steady overlap {pipad} must exceed PyGT-A {pygta}"
+        );
+        let allocs = art.flat["pipad_device_allocs{method=\"PiPAD\",window=\"steady\"}"];
+        let prep = art.flat["pipad_device_allocs{method=\"PiPAD\",window=\"run\"}"];
+        assert!(
+            allocs < prep,
+            "steady-window allocations ({allocs}) must undercut the whole run ({prep})"
+        );
+    }
+}

@@ -21,7 +21,7 @@
 //! asserts byte-identical JSON. Checkpoints live in a per-process temp
 //! directory that never appears in the artifacts.
 
-use crate::util::{dataset, default_training_config, RunScale};
+use crate::util::{check_consistency, dataset, default_training_config, RunScale};
 use pipad::{train_pipad, PipadConfig};
 use pipad_baselines::{train_baseline_resumable, BaselineKind};
 use pipad_ckpt::{latest_checkpoint, CheckpointPolicy};
@@ -124,6 +124,8 @@ fn pipad_row(scale: RunScale, model: ModelKind, cfg: &TrainingConfig, base: &Pat
     let eb = export_chrome_trace_window(g3.trace(), 1, wb.0, wb.1);
     let trace_match = wa == wb && ea == eb;
     assert!(trace_match, "{}: final epoch trace differs", model.name());
+    check_consistency(&g1);
+    check_consistency(&g3);
 
     std::fs::remove_dir_all(&sub).expect("cleanup checkpoints");
     Row {
@@ -196,6 +198,8 @@ fn baseline_row(scale: RunScale, cfg: &TrainingConfig, base: &Path) -> Row {
         .zip(&resumed.epochs)
         .all(|(a, b)| a.sim_time == b.sim_time);
     assert!(times_match, "baseline resume left the simulated timeline");
+    check_consistency(&g1);
+    check_consistency(&g3);
 
     std::fs::remove_dir_all(&sub).expect("cleanup checkpoints");
     Row {

@@ -15,7 +15,7 @@
 //! asserts byte-identical JSON. Checkpoints live in a per-process temp
 //! directory that never appears in the artifacts.
 
-use crate::util::{dataset, default_training_config, RunScale};
+use crate::util::{check_consistency, dataset, default_training_config, RunScale};
 use pipad::{train_pipad, PipadConfig};
 use pipad_ckpt::{crc32, CheckpointPolicy};
 use pipad_dyngraph::DatasetId;
@@ -98,6 +98,7 @@ fn model_row(scale: RunScale, model: ModelKind, base: &Path) -> Row {
         ..PipadConfig::default()
     };
     train_pipad(&mut tg, model, &graph, HIDDEN, &cfg, &pcfg).expect("training leg failed");
+    check_consistency(&tg);
 
     let mut gpu = Gpu::new(DeviceConfig::v100());
     let ecfg = EngineConfig {
@@ -109,6 +110,7 @@ fn model_row(scale: RunScale, model: ModelKind, base: &Path) -> Row {
     let scfg = sim_config(scale);
     let report: ServeReport =
         serve_open_loop(&mut gpu, &mut engine, &scfg).expect("serving run failed");
+    check_consistency(&gpu);
 
     std::fs::remove_dir_all(&dir).expect("cleanup checkpoints");
     Row {

@@ -9,7 +9,7 @@
 //! re-runs the workload and re-exports under `PIPAD_THREADS`-style
 //! serial and 4-thread pools to prove byte-identity before writing.
 
-use crate::util::{dataset, default_training_config, RunScale};
+use crate::util::{check_consistency, dataset, default_training_config, RunScale};
 use pipad::{train_pipad, PipadConfig};
 use pipad_dyngraph::DatasetId;
 use pipad_gpu_sim::{export_chrome_trace, trace_text_summary, validate_json, DeviceConfig, Gpu};
@@ -41,9 +41,7 @@ fn run_once(scale: RunScale) -> TraceArtifact {
         &PipadConfig::default(),
     )
     .expect("trace run failed");
-    gpu.profiler()
-        .consistency_check(gpu.trace())
-        .expect("trace disagrees with profiler accounting");
+    check_consistency(&gpu);
 
     let json = export_chrome_trace(gpu.trace(), 0);
     validate_json(&json).expect("exported trace is not well-formed JSON");

@@ -68,7 +68,9 @@ impl Method {
         }
     }
 
-    /// Train on a fresh simulated device and return the report.
+    /// Train on a fresh simulated device and return the report. The
+    /// device's profiler is cross-checked against its trace before it is
+    /// dropped, so every harness run doubles as a consistency oracle.
     pub fn run(
         self,
         model: ModelKind,
@@ -77,11 +79,22 @@ impl Method {
         cfg: &TrainingConfig,
     ) -> TrainReport {
         let mut gpu = Gpu::new(DeviceConfig::v100());
-        match self {
-            Method::Pipad => {
-                train_pipad(&mut gpu, model, graph, hidden, cfg, &PipadConfig::default())
-                    .expect("PiPAD run failed")
-            }
+        self.run_on(&mut gpu, model, graph, hidden, cfg)
+    }
+
+    /// [`Method::run`] on a caller-supplied device, leaving the trace and
+    /// profiler available for post-hoc analysis (`repro profile`).
+    pub fn run_on(
+        self,
+        gpu: &mut Gpu,
+        model: ModelKind,
+        graph: &DynamicGraph,
+        hidden: usize,
+        cfg: &TrainingConfig,
+    ) -> TrainReport {
+        let report = match self {
+            Method::Pipad => train_pipad(gpu, model, graph, hidden, cfg, &PipadConfig::default())
+                .expect("PiPAD run failed"),
             baseline => {
                 let kind = match baseline {
                     Method::Pygt => BaselineKind::Pygt,
@@ -90,11 +103,23 @@ impl Method {
                     Method::PygtG => BaselineKind::PygtG,
                     Method::Pipad => unreachable!(),
                 };
-                train_baseline(&mut gpu, kind, model, graph, hidden, cfg)
-                    .expect("baseline run failed")
+                train_baseline(gpu, kind, model, graph, hidden, cfg).expect("baseline run failed")
             }
-        }
+        };
+        gpu.profiler()
+            .consistency_check(gpu.trace())
+            .expect("profiler and trace diverged over a harness run");
+        report
     }
+}
+
+/// Assert that a device's profiler agrees with its structured trace —
+/// every `repro` experiment calls this before dropping a device it drove
+/// directly, so the two observability layers can never silently diverge.
+pub fn check_consistency(gpu: &Gpu) {
+    gpu.profiler()
+        .consistency_check(gpu.trace())
+        .expect("profiler and trace diverged over a repro experiment");
 }
 
 /// The harness training configuration: the paper's frame size (16), two

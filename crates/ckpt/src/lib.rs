@@ -5,7 +5,7 @@
 //!
 //! A checkpoint is a single file of named, length-prefixed sections, each
 //! guarded by a CRC-32 and the whole file by a trailing CRC-32 (format
-//! details in [`format`]). Everything is hand-rolled little-endian — no
+//! details in [`mod@format`]). Everything is hand-rolled little-endian — no
 //! serialization dependency — and floats are stored as raw IEEE-754
 //! bits, so restored state is *bit-identical* to what was saved. That is
 //! the property the resume-equivalence suite leans on: a run killed by an
@@ -14,11 +14,11 @@
 //! was never interrupted.
 //!
 //! Modules:
-//! - [`crc32`] — table-driven CRC-32 (IEEE), built at compile time.
+//! - [`mod@crc32`] — table-driven CRC-32 (IEEE), built at compile time.
 //! - [`codec`] — bounds-checked little-endian encode/decode primitives
 //!   plus typed codecs for matrices, generator configs, device clocks and
 //!   fault counters.
-//! - [`format`] — the container: [`CheckpointWriter`], [`Checkpoint`],
+//! - [`mod@format`] — the container: [`CheckpointWriter`], [`Checkpoint`],
 //!   atomic writes, rotation and discovery.
 //! - [`policy`] — [`CheckpointPolicy`]: cadence, directory, retention.
 

@@ -798,6 +798,12 @@ pub fn train_data_parallel(
         .unwrap()
         .max(*host_cursors.iter().max().unwrap());
     let steady_epochs = (cfg.epochs - preparing).max(1);
+    #[cfg(debug_assertions)]
+    for (i, g) in gpus.iter().enumerate() {
+        g.profiler()
+            .consistency_check(g.trace())
+            .unwrap_or_else(|e| panic!("device {i}: profiler and trace diverged: {e}"));
+    }
     Ok(MultiTrainReport {
         n_gpus: parts,
         epochs,

@@ -14,7 +14,7 @@ use pipad_autograd::SharedParam;
 use pipad_gpu_sim::{Gpu, OomError};
 use pipad_kernels::DeviceMatrix;
 use pipad_tensor::Matrix;
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::{BTreeMap, HashMap};
 use std::rc::Rc;
 
@@ -35,6 +35,11 @@ pub struct CpuAggStore {
     /// Incrementally maintained byte total; debug builds assert it equals
     /// the recomputed sum after every mutation.
     tracked_bytes: u64,
+    /// Lookup statistics ([`Cell`] because [`CpuAggStore::get`] takes
+    /// `&self`); a pure function of the deterministic lookup sequence, so
+    /// safe to surface in metrics and trace meta.
+    hits: Cell<u64>,
+    misses: Cell<u64>,
 }
 
 impl CpuAggStore {
@@ -45,7 +50,24 @@ impl CpuAggStore {
 
     /// Look up an entry.
     pub fn get(&self, snapshot: usize) -> Option<&Matrix> {
-        self.store.get(&snapshot)
+        let found = self.store.get(&snapshot);
+        let counter = if found.is_some() {
+            &self.hits
+        } else {
+            &self.misses
+        };
+        counter.set(counter.get() + 1);
+        found
+    }
+
+    /// Lookup hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.get()
+    }
+
+    /// Lookup misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses.get()
     }
 
     /// Insert an entry. A buffer displaced by the write-once rule goes
@@ -306,6 +328,18 @@ mod tests {
         s.insert(1, Matrix::full(2, 2, 9.0));
         assert_eq!(s.get(1).unwrap()[(0, 0)], 1.0, "first write wins");
         assert_eq!(s.bytes(), 16);
+    }
+
+    #[test]
+    fn cpu_store_counts_lookups() {
+        let mut s = CpuAggStore::new();
+        s.insert(1, Matrix::full(2, 2, 1.0));
+        assert!(s.get(1).is_some());
+        assert!(s.get(2).is_none());
+        assert!(s.get(1).is_some());
+        assert_eq!((s.hits(), s.misses()), (2, 1));
+        assert!(s.contains(1), "contains() must not touch the counters");
+        assert_eq!((s.hits(), s.misses()), (2, 1));
     }
 
     #[test]

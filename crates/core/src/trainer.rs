@@ -515,6 +515,19 @@ pub fn train_pipad(
     tr.set_meta("pool_misses", pool.misses);
     tr.set_meta("pool_recycled_bytes", pool.recycled_bytes);
     tr.set_meta("pool_reused_bytes", pool.reused_bytes);
+    // Reuse-tier hit rates (§4.4): pure functions of the deterministic
+    // lookup sequence, so safe in trace meta and metrics exports.
+    tr.set_meta("reuse_cpu_hits", reuse.cpu.hits());
+    tr.set_meta("reuse_cpu_misses", reuse.cpu.misses());
+    tr.set_meta("reuse_gpu_hits", reuse.gpu_cache.hits());
+    tr.set_meta("reuse_gpu_misses", reuse.gpu_cache.misses());
+    // The trace and the profiler record the same timeline through different
+    // code paths; debug builds cross-check them after every run so the two
+    // observability layers can never silently diverge.
+    #[cfg(debug_assertions)]
+    gpu.profiler()
+        .consistency_check(gpu.trace())
+        .expect("profiler and trace diverged over this training run");
     let steady_snap = steady_snap.unwrap_or_else(|| gpu.profiler().snapshot());
     let steady = gpu.profiler().window(steady_snap);
     let steady_epochs = (cfg.epochs - preparing).max(1);

@@ -272,6 +272,11 @@ impl Tracer {
         self.counter_peaks.get(name).copied().unwrap_or(0)
     }
 
+    /// All counter tracks and their high-water marks, in name order.
+    pub fn counter_peaks(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.counter_peaks.iter().map(|(&k, &v)| (k, v))
+    }
+
     /// Set a run-level metadata counter (timestamp-free; text summary only).
     pub fn set_meta(&mut self, name: &'static str, value: u64) {
         self.meta.insert(name, value);
@@ -471,9 +476,8 @@ pub fn trace_text_summary(tracer: &Tracer) -> String {
     for ((kind, name), (count, total)) in &rows {
         let _ = writeln!(out, "{kind:<10} {name:<28} {count:>8} {total:>14}");
     }
-    let hw = tracer.counter_peak("device_mem_in_use");
-    if hw > 0 {
-        let _ = writeln!(out, "device memory high-water: {hw} B");
+    for (name, peak) in tracer.counter_peaks() {
+        let _ = writeln!(out, "high-water {name}: {peak}");
     }
     for (name, value) in tracer.meta() {
         let _ = writeln!(out, "meta {name}: {value}");
@@ -896,6 +900,17 @@ mod tests {
         assert!(s.contains("3 events"));
         assert!(s.contains("kernel"));
         assert!(s.contains(" 3 "), "{s}");
+    }
+
+    #[test]
+    fn summary_lists_all_counter_high_waters() {
+        let mut t = Tracer::new();
+        t.counter("device_mem_in_use", Lane::Memory, SimNanos(0), 7);
+        t.counter("queue_depth", Lane::Control, SimNanos(1), 3);
+        t.counter("queue_depth", Lane::Control, SimNanos(2), 1);
+        let s = trace_text_summary(&t);
+        assert!(s.contains("high-water device_mem_in_use: 7"), "{s}");
+        assert!(s.contains("high-water queue_depth: 3"), "{s}");
     }
 
     #[test]

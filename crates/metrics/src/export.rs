@@ -1,0 +1,246 @@
+//! Registry exporters: Prometheus text exposition, JSON, human table.
+//!
+//! All three are hand-rolled (no external deps), locale-free, and pure
+//! functions of registry content — with `BTreeMap`-ordered iteration
+//! underneath, each export is byte-stable across runs, `PIPAD_THREADS`
+//! settings and buffer-pool state. The JSON form is checked by
+//! [`pipad_gpu_sim::validate_json`] in the test suite.
+
+use crate::hist::bucket_upper_bound;
+use crate::registry::MetricsRegistry;
+use pipad_gpu_sim::json_escape;
+use std::fmt::Write as _;
+
+/// Render a finite f64 the way the trace exporter does: Rust's shortest
+/// round-trip form (`{:?}`), which is deterministic and valid JSON.
+fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:?}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Prometheus text exposition format (version 0.0.4): one `# TYPE` line
+/// per metric family, histograms as cumulative `_bucket{le=...}` series
+/// plus `_sum` and `_count`. Only occupied buckets and `+Inf` are
+/// emitted; cumulative counts stay monotone regardless.
+pub fn to_prometheus(reg: &MetricsRegistry) -> String {
+    let mut out = String::new();
+    let mut last_family = String::new();
+    for (k, v) in reg.counters() {
+        if k.name != last_family {
+            let _ = writeln!(out, "# TYPE {} counter", k.name);
+            last_family = k.name.clone();
+        }
+        let _ = writeln!(out, "{} {v}", k.render());
+    }
+    last_family.clear();
+    for (k, v) in reg.gauges() {
+        if k.name != last_family {
+            let _ = writeln!(out, "# TYPE {} gauge", k.name);
+            last_family = k.name.clone();
+        }
+        let _ = writeln!(out, "{} {}", k.render(), fmt_f64(v));
+    }
+    last_family.clear();
+    for (k, h) in reg.histograms() {
+        if k.name != last_family {
+            let _ = writeln!(out, "# TYPE {} histogram", k.name);
+            last_family = k.name.clone();
+        }
+        let with_le = |le: &str| {
+            let mut labels: Vec<(String, String)> = k.labels.clone();
+            labels.push(("le".to_string(), le.to_string()));
+            let mut lk = k.clone();
+            lk.name = format!("{}_bucket", k.name);
+            lk.labels = labels;
+            lk.render()
+        };
+        let mut cumulative = 0u64;
+        for (i, &c) in h.bucket_counts().iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            cumulative += c;
+            let _ = writeln!(
+                out,
+                "{} {cumulative}",
+                with_le(&bucket_upper_bound(i).to_string())
+            );
+        }
+        let _ = writeln!(out, "{} {}", with_le("+Inf"), h.count());
+        let mut base = k.clone();
+        base.name = format!("{}_sum", k.name);
+        let _ = writeln!(out, "{} {}", base.render(), h.sum());
+        base.name = format!("{}_count", k.name);
+        let _ = writeln!(out, "{} {}", base.render(), h.count());
+    }
+    out
+}
+
+/// JSON export with a stable schema:
+/// `{"counters":{...},"gauges":{...},"histograms":{"key":{"count":..,
+/// "sum":..,"min":..,"max":..,"mean":..,"p50":..,"p95":..,"p99":..,
+/// "buckets":[[le,count],...]}}}`. Keys are the Prometheus renderings;
+/// only occupied buckets appear.
+pub fn to_json(reg: &MetricsRegistry) -> String {
+    let mut out = String::from("{\"counters\":{");
+    for (i, (k, v)) in reg.counters().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{}\":{v}", json_escape(&k.render()));
+    }
+    out.push_str("},\"gauges\":{");
+    for (i, (k, v)) in reg.gauges().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{}\":{}", json_escape(&k.render()), fmt_f64(v));
+    }
+    out.push_str("},\"histograms\":{");
+    for (i, (k, h)) in reg.histograms().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\"{}\":{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"mean\":{},\"p50\":{},\"p95\":{},\"p99\":{},\"buckets\":[",
+            json_escape(&k.render()),
+            h.count(),
+            h.sum(),
+            h.min(),
+            h.max(),
+            h.mean(),
+            h.quantile_milli(500),
+            h.quantile_milli(950),
+            h.quantile_milli(990),
+        );
+        for (j, (le, c)) in h.occupied_buckets().into_iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "[{le},{c}]");
+        }
+        out.push_str("]}");
+    }
+    out.push_str("}}\n");
+    out
+}
+
+/// Human-readable aligned table, one section per metric class.
+pub fn to_table(reg: &MetricsRegistry) -> String {
+    let mut out = String::new();
+    if reg.counters().next().is_some() {
+        let _ = writeln!(out, "== counters ==");
+        let width = reg
+            .counters()
+            .map(|(k, _)| k.render().len())
+            .max()
+            .unwrap_or(0);
+        for (k, v) in reg.counters() {
+            let _ = writeln!(out, "{:<width$} {v:>14}", k.render());
+        }
+    }
+    if reg.gauges().next().is_some() {
+        let _ = writeln!(out, "== gauges ==");
+        let width = reg
+            .gauges()
+            .map(|(k, _)| k.render().len())
+            .max()
+            .unwrap_or(0);
+        for (k, v) in reg.gauges() {
+            let _ = writeln!(out, "{:<width$} {:>14}", k.render(), fmt_f64(v));
+        }
+    }
+    if reg.histograms().next().is_some() {
+        let _ = writeln!(out, "== histograms ==");
+        let width = reg
+            .histograms()
+            .map(|(k, _)| k.render().len())
+            .max()
+            .unwrap_or(0);
+        let _ = writeln!(
+            out,
+            "{:<width$} {:>10} {:>16} {:>14} {:>14} {:>14}",
+            "name", "count", "sum", "mean", "p95", "max"
+        );
+        for (k, h) in reg.histograms() {
+            let _ = writeln!(
+                out,
+                "{:<width$} {:>10} {:>16} {:>14} {:>14} {:>14}",
+                k.render(),
+                h.count(),
+                h.sum(),
+                h.mean(),
+                h.quantile_milli(950),
+                h.max()
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pipad_gpu_sim::validate_json;
+
+    fn sample_registry() -> MetricsRegistry {
+        let mut r = MetricsRegistry::new();
+        r.inc_counter("pipad_recoveries_total", 3);
+        r.inc_counter_with("pipad_recoveries", &[("policy", "nan_skip")], 2);
+        r.set_gauge("pipad_overlap_fraction", 0.625);
+        for v in [0u64, 3, 900, 900, 1 << 20] {
+            r.observe_with("pipad_serve_latency_ns", &[("stage", "e2e")], v);
+        }
+        r
+    }
+
+    #[test]
+    fn prometheus_export_shape() {
+        let p = to_prometheus(&sample_registry());
+        assert!(p.contains("# TYPE pipad_recoveries_total counter"));
+        assert!(p.contains("pipad_recoveries{policy=\"nan_skip\"} 2"));
+        assert!(p.contains("# TYPE pipad_overlap_fraction gauge"));
+        assert!(p.contains("pipad_overlap_fraction 0.625"));
+        assert!(p.contains("# TYPE pipad_serve_latency_ns histogram"));
+        assert!(p.contains("pipad_serve_latency_ns_bucket{stage=\"e2e\",le=\"0\"} 1"));
+        assert!(p.contains("pipad_serve_latency_ns_bucket{stage=\"e2e\",le=\"+Inf\"} 5"));
+        assert!(p.contains("pipad_serve_latency_ns_count{stage=\"e2e\"} 5"));
+        // Cumulative bucket counts are monotone nondecreasing.
+        let counts: Vec<u64> = p
+            .lines()
+            .filter(|l| l.contains("_bucket"))
+            .map(|l| l.rsplit(' ').next().unwrap().parse().unwrap())
+            .collect();
+        assert!(counts.windows(2).all(|w| w[0] <= w[1]), "{counts:?}");
+    }
+
+    #[test]
+    fn json_export_is_well_formed_and_deterministic() {
+        let a = to_json(&sample_registry());
+        let b = to_json(&sample_registry());
+        assert_eq!(a, b);
+        validate_json(&a).expect("well-formed");
+        assert!(a.contains("\"pipad_serve_latency_ns{stage=\\\"e2e\\\"}\""));
+        assert!(a.contains("\"count\":5"));
+    }
+
+    #[test]
+    fn empty_registry_exports_cleanly() {
+        let r = MetricsRegistry::new();
+        assert_eq!(to_prometheus(&r), "");
+        validate_json(&to_json(&r)).unwrap();
+        assert_eq!(to_table(&r), "");
+    }
+
+    #[test]
+    fn table_lists_all_classes() {
+        let t = to_table(&sample_registry());
+        assert!(t.contains("== counters =="));
+        assert!(t.contains("== gauges =="));
+        assert!(t.contains("== histograms =="));
+    }
+}

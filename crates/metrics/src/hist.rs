@@ -1,0 +1,224 @@
+//! Fixed-log2-bucket histogram.
+//!
+//! Bucket boundaries are powers of two, fixed at compile time: bucket 0
+//! holds the value `0`, bucket `i` (1 ≤ i ≤ 64) holds values in
+//! `[2^(i-1), 2^i)`. Because the layout never depends on the observed
+//! data, two histograms fed the same observations in any order are
+//! identical, and every export is byte-stable — the property the golden
+//! export tests and the `PIPAD_THREADS` / `PIPAD_NO_POOL` invariance
+//! gates pin.
+
+/// Number of buckets: one for zero plus one per power of two up to `2^64`.
+pub const LOG2_BUCKETS: usize = 65;
+
+/// A histogram over `u64` observations with fixed power-of-two buckets.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Log2Histogram {
+    counts: [u64; LOG2_BUCKETS],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Log2Histogram {
+    fn default() -> Self {
+        Log2Histogram {
+            counts: [0; LOG2_BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+}
+
+/// Bucket index for a value: 0 for 0, else `65 - leading_zeros`.
+pub fn bucket_index(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        64 - v.leading_zeros() as usize
+    }
+}
+
+/// Inclusive upper bound of bucket `i` (`0`, `1`, `3`, `7`, …,
+/// `u64::MAX`).
+pub fn bucket_upper_bound(i: usize) -> u64 {
+    debug_assert!(i < LOG2_BUCKETS);
+    if i == 0 {
+        0
+    } else if i >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+/// Inclusive lower bound of bucket `i` (`0`, `1`, `2`, `4`, …).
+pub fn bucket_lower_bound(i: usize) -> u64 {
+    debug_assert!(i < LOG2_BUCKETS);
+    if i == 0 {
+        0
+    } else {
+        1u64 << (i - 1)
+    }
+}
+
+impl Log2Histogram {
+    /// Create an empty histogram.
+    pub fn new() -> Self {
+        Log2Histogram::default()
+    }
+
+    /// Record one observation.
+    pub fn observe(&mut self, v: u64) {
+        self.counts[bucket_index(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observations (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest observation (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest observation (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean observation, rounded down (0 when empty).
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// Raw per-bucket counts.
+    pub fn bucket_counts(&self) -> &[u64; LOG2_BUCKETS] {
+        &self.counts
+    }
+
+    /// Non-empty buckets as `(upper_bound, count)` in ascending bound
+    /// order — the compact form the JSON export uses.
+    pub fn occupied_buckets(&self) -> Vec<(u64, u64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (bucket_upper_bound(i), c))
+            .collect()
+    }
+
+    /// Nearest-rank quantile estimate: the inclusive upper bound of the
+    /// bucket containing rank `ceil(q‰ × count)`, clamped to the observed
+    /// maximum (so `quantile(1000) == max()` exactly). Returns 0 when
+    /// empty. The estimate is an upper bound on the true quantile that is
+    /// exact whenever the bucket holding the rank is a singleton value.
+    pub fn quantile_milli(&self, q_milli: u64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = (q_milli * self.count).div_ceil(1000).clamp(1, self.count);
+        let mut cumulative = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            cumulative += c;
+            if cumulative >= rank {
+                return bucket_upper_bound(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &Log2Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_powers_of_two() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        for i in 0..LOG2_BUCKETS {
+            assert!(bucket_lower_bound(i) <= bucket_upper_bound(i));
+        }
+        // A value always lands between its bucket's bounds.
+        for v in [0u64, 1, 2, 3, 4, 5, 7, 8, 1023, 1024, u64::MAX] {
+            let i = bucket_index(v);
+            assert!(
+                bucket_lower_bound(i) <= v && v <= bucket_upper_bound(i),
+                "{v}"
+            );
+        }
+    }
+
+    #[test]
+    fn counts_and_moments() {
+        let mut h = Log2Histogram::new();
+        for v in [0u64, 1, 5, 5, 100] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 111);
+        assert_eq!(h.mean(), 22);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 100);
+        assert_eq!(h.bucket_counts().iter().sum::<u64>(), 5);
+    }
+
+    #[test]
+    fn quantiles_are_bucket_upper_bounds_clamped_to_max() {
+        let mut h = Log2Histogram::new();
+        for _ in 0..99 {
+            h.observe(10); // bucket [8,16), upper bound 15
+        }
+        h.observe(1000); // bucket [512,1024), upper bound 1023
+        assert_eq!(h.quantile_milli(500), 15);
+        assert_eq!(h.quantile_milli(990), 15);
+        assert_eq!(h.quantile_milli(1000), 1000, "p100 is the exact max");
+        let empty = Log2Histogram::new();
+        assert_eq!(empty.quantile_milli(500), 0);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = Log2Histogram::new();
+        a.observe(3);
+        let mut b = Log2Histogram::new();
+        b.observe(300);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.max(), 300);
+        assert_eq!(a.min(), 3);
+    }
+}

@@ -1,0 +1,440 @@
+//! Perf-regression sentinel: a committed baseline of key metrics with
+//! per-metric tolerances, and a comparator that turns metric drift into a
+//! hard `scripts/check.sh` failure.
+//!
+//! The baseline is a JSON document:
+//!
+//! ```json
+//! {"metrics":[
+//!   {"key":"pipad_overlap_fraction_milli{...}","value":625.0,
+//!    "tol_abs":25.0,"tol_rel":0.05},
+//!   ...
+//! ]}
+//! ```
+//!
+//! A current value passes iff `|cur − base| ≤ tol_abs + tol_rel·|base|`.
+//! A key present in the baseline but missing from the current run is a
+//! failure (a silently vanished metric is itself a regression); extra
+//! current keys are ignored so the profile can grow without churning the
+//! baseline. Parsing is done by a minimal in-tree JSON reader — the same
+//! no-external-deps policy as the trace exporter.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// One guarded metric in the baseline.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BaselineEntry {
+    /// Flat metric key (Prometheus rendering, as produced by
+    /// [`crate::MetricsRegistry::flat`]).
+    pub key: String,
+    /// Expected value.
+    pub value: f64,
+    /// Absolute tolerance.
+    pub tol_abs: f64,
+    /// Relative tolerance (fraction of `|value|`).
+    pub tol_rel: f64,
+}
+
+impl BaselineEntry {
+    /// Whether `cur` is within tolerance of this entry.
+    pub fn accepts(&self, cur: f64) -> bool {
+        (cur - self.value).abs() <= self.tol_abs + self.tol_rel * self.value.abs()
+    }
+}
+
+/// A parsed sentinel baseline.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Baseline {
+    /// Guarded metrics in file order.
+    pub entries: Vec<BaselineEntry>,
+}
+
+impl Baseline {
+    /// Render as the canonical baseline JSON (stable field order, `{:?}`
+    /// float formatting — byte-deterministic for a given entry list).
+    pub fn render(&self) -> String {
+        let mut out = String::from("{\"metrics\":[\n");
+        for (i, e) in self.entries.iter().enumerate() {
+            if i > 0 {
+                out.push_str(",\n");
+            }
+            let _ = write!(
+                out,
+                "{{\"key\":\"{}\",\"value\":{:?},\"tol_abs\":{:?},\"tol_rel\":{:?}}}",
+                pipad_gpu_sim::json_escape(&e.key),
+                e.value,
+                e.tol_abs,
+                e.tol_rel
+            );
+        }
+        out.push_str("\n]}\n");
+        out
+    }
+
+    /// Parse a baseline document. Errors on malformed JSON, a missing
+    /// `metrics` array, or entries without the required fields.
+    pub fn parse(src: &str) -> Result<Baseline, String> {
+        let root = Json::parse(src)?;
+        let metrics = root
+            .get("metrics")
+            .ok_or("baseline: missing top-level \"metrics\" array")?;
+        let Json::Arr(items) = metrics else {
+            return Err("baseline: \"metrics\" is not an array".to_string());
+        };
+        let mut entries = Vec::with_capacity(items.len());
+        for (i, item) in items.iter().enumerate() {
+            let field = |name: &str| -> Result<&Json, String> {
+                item.get(name)
+                    .ok_or(format!("baseline: entry {i} missing \"{name}\""))
+            };
+            let num = |name: &str| -> Result<f64, String> {
+                match field(name)? {
+                    Json::Num(v) => Ok(*v),
+                    _ => Err(format!("baseline: entry {i} \"{name}\" is not a number")),
+                }
+            };
+            let key = match field("key")? {
+                Json::Str(s) => s.clone(),
+                _ => return Err(format!("baseline: entry {i} \"key\" is not a string")),
+            };
+            entries.push(BaselineEntry {
+                key,
+                value: num("value")?,
+                tol_abs: num("tol_abs")?,
+                tol_rel: num("tol_rel")?,
+            });
+        }
+        Ok(Baseline { entries })
+    }
+
+    /// Compare a current flat metric map against this baseline. Returns
+    /// the list of violations (empty = pass), one human-readable line
+    /// each, in baseline order.
+    pub fn check(&self, current: &BTreeMap<String, f64>) -> Vec<String> {
+        let mut failures = Vec::new();
+        for e in &self.entries {
+            match current.get(&e.key) {
+                None => failures.push(format!(
+                    "sentinel: metric `{}` missing from current profile (baseline {:?})",
+                    e.key, e.value
+                )),
+                Some(&cur) if !e.accepts(cur) => failures.push(format!(
+                    "sentinel: metric `{}` drifted: current {:?}, baseline {:?} (tolerance ±{:?} abs, ±{:?} rel)",
+                    e.key, cur, e.value, e.tol_abs, e.tol_rel
+                )),
+                Some(_) => {}
+            }
+        }
+        failures
+    }
+}
+
+/// Minimal JSON value for the baseline reader.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number, as f64.
+    Num(f64),
+    /// String (escapes decoded).
+    Str(String),
+    /// Array.
+    Arr(Vec<Json>),
+    /// Object in document order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Parse one JSON document (nothing but whitespace may follow).
+    pub fn parse(src: &str) -> Result<Json, String> {
+        let mut p = Parser {
+            b: src.as_bytes(),
+            i: 0,
+        };
+        p.ws();
+        let v = p.value()?;
+        p.ws();
+        if p.i != p.b.len() {
+            return Err(format!("json: trailing garbage at byte {}", p.i));
+        }
+        Ok(v)
+    }
+
+    /// Object field lookup (None on non-objects or missing keys).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl Parser<'_> {
+    fn ws(&mut self) {
+        while matches!(self.b.get(self.i), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.i += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.b.get(self.i).copied()
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), String> {
+        if self.peek() == Some(c) {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(format!("json: expected '{}' at byte {}", c as char, self.i))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(format!("json: unexpected byte {}", self.i)),
+        }
+    }
+
+    fn literal(&mut self, lit: &str, v: Json) -> Result<Json, String> {
+        if self.b[self.i..].starts_with(lit.as_bytes()) {
+            self.i += lit.len();
+            Ok(v)
+        } else {
+            Err(format!("json: bad literal at byte {}", self.i))
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        self.ws();
+        let mut fields = Vec::new();
+        if self.peek() == Some(b'}') {
+            self.i += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.ws();
+            let k = self.string()?;
+            self.ws();
+            self.expect(b':')?;
+            self.ws();
+            fields.push((k, self.value()?));
+            self.ws();
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b'}') => {
+                    self.i += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(format!("json: expected ',' or '}}' at byte {}", self.i)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        self.ws();
+        let mut items = Vec::new();
+        if self.peek() == Some(b']') {
+            self.i += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.ws();
+            items.push(self.value()?);
+            self.ws();
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b']') => {
+                    self.i += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(format!("json: expected ',' or ']' at byte {}", self.i)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("json: unterminated string".to_string()),
+                Some(b'"') => {
+                    self.i += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.i += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{0008}'),
+                        Some(b'f') => out.push('\u{000c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let hex = self
+                                .b
+                                .get(self.i + 1..self.i + 5)
+                                .ok_or("json: truncated \\u escape")?;
+                            let hex = std::str::from_utf8(hex)
+                                .map_err(|_| "json: non-ascii \\u escape".to_string())?;
+                            let cp = u32::from_str_radix(hex, 16)
+                                .map_err(|_| format!("json: bad \\u escape at byte {}", self.i))?;
+                            out.push(char::from_u32(cp).unwrap_or('\u{fffd}'));
+                            self.i += 4;
+                        }
+                        _ => return Err(format!("json: bad escape at byte {}", self.i)),
+                    }
+                    self.i += 1;
+                }
+                Some(c) if c < 0x20 => {
+                    return Err(format!("json: raw control byte at {}", self.i));
+                }
+                Some(_) => {
+                    // Advance over one UTF-8 scalar, copying its bytes.
+                    let start = self.i;
+                    self.i += 1;
+                    while self.i < self.b.len() && (self.b[self.i] & 0xC0) == 0x80 {
+                        self.i += 1;
+                    }
+                    out.push_str(
+                        std::str::from_utf8(&self.b[start..self.i])
+                            .map_err(|_| "json: invalid utf-8".to_string())?,
+                    );
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.i;
+        if self.peek() == Some(b'-') {
+            self.i += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.i += 1;
+        }
+        if self.peek() == Some(b'.') {
+            self.i += 1;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.i += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.i += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.i += 1;
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.i += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.b[start..self.i]).unwrap();
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| format!("json: bad number `{text}` at byte {start}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_roundtrips() {
+        let b = Baseline {
+            entries: vec![
+                BaselineEntry {
+                    key: "pipad_overlap_fraction_milli{window=\"steady\"}".to_string(),
+                    value: 625.0,
+                    tol_abs: 25.0,
+                    tol_rel: 0.0,
+                },
+                BaselineEntry {
+                    key: "pipad_device_allocs{window=\"steady\"}".to_string(),
+                    value: 40.0,
+                    tol_abs: 0.0,
+                    tol_rel: 0.1,
+                },
+            ],
+        };
+        let rendered = b.render();
+        pipad_gpu_sim::validate_json(&rendered).expect("well-formed");
+        let parsed = Baseline::parse(&rendered).expect("parse");
+        assert_eq!(parsed, b);
+        assert_eq!(rendered, parsed.render(), "render is a fixed point");
+    }
+
+    #[test]
+    fn check_passes_within_and_fails_outside_tolerance() {
+        let b = Baseline {
+            entries: vec![BaselineEntry {
+                key: "m".to_string(),
+                value: 100.0,
+                tol_abs: 5.0,
+                tol_rel: 0.05,
+            }],
+        };
+        let mut cur = BTreeMap::new();
+        cur.insert("m".to_string(), 109.0);
+        assert!(b.check(&cur).is_empty(), "5 abs + 5 rel = ±10 window");
+        cur.insert("m".to_string(), 111.0);
+        let fails = b.check(&cur);
+        assert_eq!(fails.len(), 1);
+        assert!(fails[0].contains("drifted"), "{fails:?}");
+        cur.remove("m");
+        let fails = b.check(&cur);
+        assert_eq!(fails.len(), 1);
+        assert!(fails[0].contains("missing"), "{fails:?}");
+    }
+
+    #[test]
+    fn parser_handles_escapes_and_nesting() {
+        let v = Json::parse("{\"a\\n\":[1,-2.5,3e2,true,null,\"x\\u0041\"]}").unwrap();
+        let arr = v.get("a\n").unwrap();
+        match arr {
+            Json::Arr(items) => {
+                assert_eq!(items[0], Json::Num(1.0));
+                assert_eq!(items[1], Json::Num(-2.5));
+                assert_eq!(items[2], Json::Num(300.0));
+                assert_eq!(items[3], Json::Bool(true));
+                assert_eq!(items[4], Json::Null);
+                assert_eq!(items[5], Json::Str("xA".to_string()));
+            }
+            other => panic!("expected array, got {other:?}"),
+        }
+        assert!(Json::parse("{\"a\":1,}").is_err());
+        assert!(Json::parse("[1 2]").is_err());
+        assert!(Json::parse("{}garbage").is_err());
+    }
+
+    #[test]
+    fn malformed_baselines_are_rejected() {
+        assert!(Baseline::parse("{}").is_err());
+        assert!(Baseline::parse("{\"metrics\":1}").is_err());
+        assert!(Baseline::parse("{\"metrics\":[{\"key\":\"k\"}]}").is_err());
+        assert!(Baseline::parse(
+            "{\"metrics\":[{\"key\":1,\"value\":1,\"tol_abs\":0,\"tol_rel\":0}]}"
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,84 @@
+//! Exact nearest-rank percentile math over integer samples.
+//!
+//! This is the single home of the percentile definition previously
+//! duplicated by the serving simulator and the bench harness: the
+//! *nearest-rank* method over a sorted sample set, `rank(q) =
+//! ceil(q·n/100)` clamped to `[1, n]`, returning the sample at that rank.
+//! Unlike interpolating estimators it always returns an observed value
+//! and is trivially deterministic.
+
+/// Nearest-rank percentile of a **sorted ascending** slice. `q` is in
+/// percent (`50` = median, `100` = max). Returns 0 on an empty slice.
+pub fn percentile_nearest_rank(sorted: &[u64], q: u64) -> u64 {
+    let n = sorted.len() as u64;
+    if n == 0 {
+        return 0;
+    }
+    debug_assert!(sorted.windows(2).all(|w| w[0] <= w[1]), "input not sorted");
+    let rank = (q * n).div_ceil(100).clamp(1, n);
+    sorted[(rank - 1) as usize]
+}
+
+/// The standard latency quartet (p50/p95/p99/max) over one sample set.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Percentiles {
+    /// Median (nearest rank).
+    pub p50: u64,
+    /// 95th percentile (nearest rank).
+    pub p95: u64,
+    /// 99th percentile (nearest rank).
+    pub p99: u64,
+    /// Maximum sample.
+    pub max: u64,
+}
+
+impl Percentiles {
+    /// Compute from an unsorted sample set (sorts a copy; the input is
+    /// untouched). All-zero on an empty input.
+    pub fn from_samples(samples: &[u64]) -> Percentiles {
+        let mut sorted = samples.to_vec();
+        sorted.sort_unstable();
+        Percentiles::from_sorted(&sorted)
+    }
+
+    /// Compute from an already-sorted ascending sample set.
+    pub fn from_sorted(sorted: &[u64]) -> Percentiles {
+        Percentiles {
+            p50: percentile_nearest_rank(sorted, 50),
+            p95: percentile_nearest_rank(sorted, 95),
+            p99: percentile_nearest_rank(sorted, 99),
+            max: sorted.last().copied().unwrap_or(0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nearest_rank_matches_definition() {
+        let s: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile_nearest_rank(&s, 50), 50);
+        assert_eq!(percentile_nearest_rank(&s, 95), 95);
+        assert_eq!(percentile_nearest_rank(&s, 99), 99);
+        assert_eq!(percentile_nearest_rank(&s, 100), 100);
+        assert_eq!(percentile_nearest_rank(&s, 1), 1);
+        assert_eq!(percentile_nearest_rank(&s, 0), 1, "rank clamps to 1");
+        assert_eq!(percentile_nearest_rank(&[], 50), 0);
+        // Odd-size median is the middle element.
+        assert_eq!(percentile_nearest_rank(&[10, 20, 30], 50), 20);
+        // Tiny sets: p99 of one sample is that sample.
+        assert_eq!(percentile_nearest_rank(&[7], 99), 7);
+    }
+
+    #[test]
+    fn percentiles_struct_sorts_a_copy() {
+        let samples = [30u64, 10, 20];
+        let p = Percentiles::from_samples(&samples);
+        assert_eq!(p.p50, 20);
+        assert_eq!(p.max, 30);
+        assert_eq!(samples, [30, 10, 20], "input untouched");
+        assert_eq!(Percentiles::from_samples(&[]), Percentiles::default());
+    }
+}

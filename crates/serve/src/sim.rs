@@ -83,19 +83,17 @@ pub struct LatencySummary {
 }
 
 impl LatencySummary {
-    /// Nearest-rank percentiles of `latencies` (sorted internally).
-    pub fn from_latencies(mut latencies: Vec<SimNanos>) -> Self {
-        if latencies.is_empty() {
-            return LatencySummary::default();
-        }
-        latencies.sort_unstable();
-        let n = latencies.len();
-        let rank = |q: usize| latencies[(q * n).div_ceil(100).clamp(1, n) - 1];
+    /// Nearest-rank percentiles of `latencies`. The math lives in
+    /// [`pipad_metrics::Percentiles`] (shared with the bench harness);
+    /// this wrapper only converts to and from [`SimNanos`].
+    pub fn from_latencies(latencies: Vec<SimNanos>) -> Self {
+        let ns: Vec<u64> = latencies.iter().map(|l| l.as_nanos()).collect();
+        let p = pipad_metrics::Percentiles::from_samples(&ns);
         LatencySummary {
-            p50: rank(50),
-            p95: rank(95),
-            p99: rank(99),
-            max: latencies[n - 1],
+            p50: SimNanos::from_nanos(p.p50),
+            p95: SimNanos::from_nanos(p.p95),
+            p99: SimNanos::from_nanos(p.p99),
+            max: SimNanos::from_nanos(p.max),
         }
     }
 }

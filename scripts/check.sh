@@ -15,7 +15,12 @@
 # counts for every model at both thread counts, plus a `repro multigpu`
 # scaling-report thread-diff), and the serving gate (served logits
 # bit-identical to the train-time forward at both thread counts and with
-# the buffer pool disabled, plus a `repro serve` report thread-diff).
+# the buffer pool disabled, plus a `repro serve` report thread-diff),
+# the profile gate (`repro profile` exports byte-identical across thread
+# counts and with the buffer pool disabled), the perf-regression sentinel
+# (key profile metrics within tolerance of the committed baseline, plus a
+# negative test proving a seeded drift fails), and a rustdoc pass with
+# warnings denied.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -108,5 +113,41 @@ PIPAD_THREADS=4 cargo run -q --release -p pipad-bench --bin repro -- \
 diff "$scratch_dir/s1/serve.json" "$scratch_dir/s4/serve.json"
 diff "$scratch_dir/s1/serve.txt" "$scratch_dir/s4/serve.txt"
 echo "serve report byte-identical across thread counts"
+
+echo "== profile determinism (repro profile @ PIPAD_THREADS=1 vs =4 vs PIPAD_NO_POOL=1) =="
+PIPAD_THREADS=1 cargo run -q --release -p pipad-bench --bin repro -- \
+    profile --scale tiny --out "$scratch_dir/p1"
+PIPAD_THREADS=4 cargo run -q --release -p pipad-bench --bin repro -- \
+    profile --scale tiny --out "$scratch_dir/p4"
+PIPAD_NO_POOL=1 cargo run -q --release -p pipad-bench --bin repro -- \
+    profile --scale tiny --out "$scratch_dir/p0"
+for ext in json prom txt; do
+    diff "$scratch_dir/p1/profile.$ext" "$scratch_dir/p4/profile.$ext"
+    diff "$scratch_dir/p1/profile.$ext" "$scratch_dir/p0/profile.$ext"
+done
+echo "profile exports byte-identical across thread counts and with the pool disabled"
+
+echo "== perf-regression sentinel (repro profile --baseline) =="
+cargo run -q --release -p pipad-bench --bin repro -- \
+    profile --scale tiny --out "$scratch_dir/ps" --baseline tests/golden/profile_baseline.json
+echo "sentinel accepted the committed baseline"
+
+echo "== perf-regression sentinel negative test (seeded drift must fail) =="
+# Perturb the first guarded metric's expected value far outside its
+# tolerance band; the comparator must exit nonzero.
+sed '2s/"value":[^,]*/"value":123456789.0/' tests/golden/profile_baseline.json \
+    > "$scratch_dir/bad_baseline.json"
+if cargo run -q --release -p pipad-bench --bin repro -- \
+    profile --scale tiny --out "$scratch_dir/pn" --baseline "$scratch_dir/bad_baseline.json" \
+    2> "$scratch_dir/sentinel_neg.log"; then
+    echo "ERROR: sentinel accepted a drifted baseline" >&2
+    exit 1
+fi
+grep -q "drifted" "$scratch_dir/sentinel_neg.log"
+echo "sentinel correctly rejected the seeded drift"
+
+echo "== cargo doc --workspace --no-deps (warnings denied) =="
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+echo "rustdoc clean"
 
 echo "== all checks passed =="

@@ -9,6 +9,7 @@ pub use pipad_ckpt as ckpt;
 pub use pipad_dyngraph as dyngraph;
 pub use pipad_gpu_sim as gpu_sim;
 pub use pipad_kernels as kernels;
+pub use pipad_metrics as metrics;
 pub use pipad_models as models;
 pub use pipad_serve as serve;
 pub use pipad_sparse as sparse;

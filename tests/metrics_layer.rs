@@ -1,0 +1,95 @@
+//! Metrics-layer gates: golden exports, thread/pool invariance and the
+//! committed regression-sentinel baseline.
+//!
+//! Three layers of pinning:
+//!
+//! 1. a tiny-scale `repro profile` run whose three exports (JSON,
+//!    Prometheus text, human table) are checked byte-for-byte against
+//!    `tests/golden/profile_tiny.{json,prom,txt}` — any change to metric
+//!    naming, label ordering, bucket layout or number formatting shows up
+//!    as a diff of those files (rerun with `UPDATE_GOLDEN=1` when the
+//!    change is intentional);
+//! 2. the same run re-measured under 1-/4-thread host pools and with the
+//!    host buffer pool disabled must produce byte-identical exports
+//!    (asserted inside `profile::run`);
+//! 3. the committed sentinel baseline
+//!    (`tests/golden/profile_baseline.json`) must accept a fresh run — the
+//!    same comparison `scripts/check.sh` makes — so a perf regression
+//!    fails `cargo test` before it ever reaches the shell gate.
+
+use pipad_bench::profile;
+use pipad_bench::RunScale;
+use pipad_gpu_sim::validate_json;
+
+fn check_golden(name: &str, got: &str, want: &str) {
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        let path = format!("{}/tests/golden/{name}", env!("CARGO_MANIFEST_DIR"));
+        std::fs::write(&path, got).expect("write golden");
+        return;
+    }
+    assert_eq!(
+        got, want,
+        "profile export diverged from tests/golden/{name}; if the change is \
+         intentional, rerun with UPDATE_GOLDEN=1 and review the diff"
+    );
+}
+
+#[test]
+fn profile_exports_match_goldens_and_survive_thread_and_pool_sweeps() {
+    // `run` measures under the default pool, 1 thread, 4 threads and with
+    // the buffer pool disabled, asserting byte-identity internally.
+    let art = profile::run(RunScale::Tiny);
+    validate_json(&art.json).expect("profile JSON is well-formed");
+
+    check_golden(
+        "profile_tiny.json",
+        &art.json,
+        include_str!("golden/profile_tiny.json"),
+    );
+    check_golden(
+        "profile_tiny.prom",
+        &art.prom,
+        include_str!("golden/profile_tiny.prom"),
+    );
+    check_golden(
+        "profile_tiny.txt",
+        &art.table,
+        include_str!("golden/profile_tiny.txt"),
+    );
+
+    // The committed sentinel baseline must accept this run (the check.sh
+    // perf gate, replayed in-process).
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        let path = concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/tests/golden/profile_baseline.json"
+        );
+        std::fs::write(path, art.render_baseline()).expect("write baseline");
+    } else {
+        let failures = art
+            .check_baseline(include_str!("golden/profile_baseline.json"))
+            .expect("committed baseline parses");
+        assert!(
+            failures.is_empty(),
+            "sentinel baseline violations:\n{}",
+            failures.join("\n")
+        );
+    }
+}
+
+#[test]
+fn profile_prom_export_is_prometheus_shaped() {
+    let art = profile::measure(RunScale::Tiny);
+    // Every family is typed before its first sample, and histogram series
+    // end with the +Inf bucket.
+    assert!(art
+        .prom
+        .contains("# TYPE pipad_overlap_fraction_milli gauge"));
+    assert!(art.prom.contains("# TYPE pipad_kernel_ns histogram"));
+    assert!(art.prom.contains("le=\"+Inf\""));
+    assert!(art.prom.contains("pipad_serve_latency_ns_count"));
+    // The table export carries all three sections.
+    for section in ["== counters ==", "== gauges ==", "== histograms =="] {
+        assert!(art.table.contains(section), "table missing {section}");
+    }
+}

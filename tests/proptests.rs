@@ -7,6 +7,9 @@ use pipad_repro::gpu_sim::{schedule_blocks, DeviceConfig, Gpu, SimNanos};
 use pipad_repro::kernels::{
     spmm_coo_scatter, spmm_gespmm, spmm_sliced_parallel, upload_csr, upload_matrix, upload_sliced,
 };
+use pipad_repro::metrics::{
+    bucket_index, bucket_lower_bound, bucket_upper_bound, Log2Histogram, LOG2_BUCKETS,
+};
 use pipad_repro::serve::{form_batches, BatchPolicy, RejectReason, Request};
 use pipad_repro::sparse::{
     csr_row_work, extract_overlap, graph_diff, partition_rows_balanced, Csr, SlicedCsr,
@@ -476,5 +479,76 @@ proptest! {
         }
         let hist_total: usize = stats.size_histogram.values().sum();
         prop_assert_eq!(hist_total, batches.len());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn log2_histogram_conserves_observations(values in proptest::collection::vec(0u64..=u64::MAX, 0..200)) {
+        let mut h = Log2Histogram::new();
+        for &v in &values {
+            h.observe(v);
+            // Every value lands in the bucket whose bounds bracket it.
+            let i = bucket_index(v);
+            prop_assert!(i < LOG2_BUCKETS);
+            prop_assert!(bucket_lower_bound(i) <= v && v <= bucket_upper_bound(i),
+                "value {} outside bucket {} = [{}, {}]",
+                v, i, bucket_lower_bound(i), bucket_upper_bound(i));
+        }
+        prop_assert_eq!(h.count(), values.len() as u64);
+        let expect_sum = values.iter().fold(0u64, |a, &v| a.saturating_add(v));
+        prop_assert_eq!(h.sum(), expect_sum);
+        prop_assert_eq!(h.bucket_counts().iter().sum::<u64>(), values.len() as u64);
+        if let (Some(&lo), Some(&hi)) = (values.iter().min(), values.iter().max()) {
+            prop_assert_eq!(h.min(), lo);
+            prop_assert_eq!(h.max(), hi);
+        }
+    }
+
+    #[test]
+    fn log2_histogram_cumulative_is_monotone(values in proptest::collection::vec(0u64..=u64::MAX, 1..200)) {
+        let mut h = Log2Histogram::new();
+        for &v in &values {
+            h.observe(v);
+        }
+        // Cumulative bucket counts (the Prometheus `le` series) must be
+        // nondecreasing and end at the total count.
+        let mut cum = 0u64;
+        let mut prev = 0u64;
+        for &c in h.bucket_counts() {
+            cum += c;
+            prop_assert!(cum >= prev);
+            prev = cum;
+        }
+        prop_assert_eq!(cum, h.count());
+        // Quantiles are monotone in q and bracketed by [min, max].
+        let mut last = 0u64;
+        for q in [1u64, 250, 500, 750, 950, 999, 1000] {
+            let v = h.quantile_milli(q);
+            prop_assert!(v >= last, "quantile_milli({}) = {} < previous {}", q, v, last);
+            prop_assert!(v <= h.max());
+            last = v;
+        }
+        prop_assert!(h.quantile_milli(1000) >= h.min());
+    }
+
+    #[test]
+    fn log2_histogram_merge_is_concatenation(
+        a in proptest::collection::vec(0u64..=u64::MAX, 0..100),
+        b in proptest::collection::vec(0u64..=u64::MAX, 0..100),
+    ) {
+        let mut ha = Log2Histogram::new();
+        for &v in &a { ha.observe(v); }
+        let mut hb = Log2Histogram::new();
+        for &v in &b { hb.observe(v); }
+        let mut hc = Log2Histogram::new();
+        for &v in a.iter().chain(&b) { hc.observe(v); }
+        ha.merge(&hb);
+        prop_assert_eq!(ha.count(), hc.count());
+        prop_assert_eq!(ha.sum(), hc.sum());
+        prop_assert_eq!(ha.bucket_counts(), hc.bucket_counts());
+        prop_assert_eq!(ha.quantile_milli(950), hc.quantile_milli(950));
     }
 }
